@@ -1,0 +1,98 @@
+// Ablation: the 1 KB distillation threshold (§4.1).
+//
+// "data under 1 KB is transferred to the client unmodified, since distillation of
+// such small content rarely results in a size reduction" — and the GIF
+// distribution's two plateaus sit exactly on either side of 1 KB. This ablation
+// runs the realistic mixed trace with thresholds of 0 B (distill everything),
+// 1 KB (the paper), and 8 KB (skip most images) and reports distiller load, bytes
+// shipped to clients, and latency.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/sns/worker_process.h"
+#include "src/util/logging.h"
+
+namespace sns {
+namespace {
+
+struct ThresholdResult {
+  int64_t distill_tasks = 0;
+  int64_t completed = 0;
+  int64_t bytes_to_clients = 0;
+  double mean_latency = 0;
+  int distillers = 0;
+};
+
+ThresholdResult RunThreshold(int64_t threshold_bytes) {
+  TranSendOptions options = DefaultTranSendOptions();
+  options.universe.url_count = 300;  // Mixed realistic content, fully cacheable.
+  options.logic.distill_threshold_bytes = threshold_bytes;
+  options.logic.cache_distilled = false;  // Isolate distillation cost.
+  options.topology.worker_pool_nodes = 8;
+  TranSendService service(options);
+  service.Start();
+  PlaybackEngine* client = service.AddPlaybackEngine(0x7EE5);
+  service.sim()->RunFor(Seconds(3));
+  benchutil::PrewarmCache(&service, client);
+
+  Rng rng(0x7EE5);
+  ContentUniverse* universe = service.universe();
+  client->StartConstantRate(25, [&rng, universe] {
+    TraceRecord record;
+    record.user_id = "threshold";
+    record.url = universe->SamplePopularUrl(&rng);
+    return record;
+  });
+  service.sim()->RunFor(Seconds(180));
+  client->StopLoad();
+  service.sim()->RunFor(Seconds(5));
+
+  ThresholdResult result;
+  result.completed = client->completed();
+  result.bytes_to_clients = client->bytes_received();
+  result.mean_latency = client->latency_stats().mean();
+  for (WorkerProcess* worker : service.system()->live_workers()) {
+    result.distill_tasks += worker->completed_tasks();
+    ++result.distillers;
+  }
+  return result;
+}
+
+void Run() {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  benchutil::Header("Ablation: distillation threshold (0 / 1 KB / 8 KB)",
+                    "paper Section 4.1 (threshold design choice)");
+
+  ThresholdResult zero = RunThreshold(0);
+  ThresholdResult paper = RunThreshold(1024);
+  ThresholdResult high = RunThreshold(8192);
+
+  std::printf("\n%-30s %-14s %-14s %-14s\n", "", "0 B", "1 KB (paper)", "8 KB");
+  std::printf("%-30s %-14lld %-14lld %-14lld\n", "requests completed",
+              static_cast<long long>(zero.completed), static_cast<long long>(paper.completed),
+              static_cast<long long>(high.completed));
+  std::printf("%-30s %-14lld %-14lld %-14lld\n", "distillation tasks run",
+              static_cast<long long>(zero.distill_tasks),
+              static_cast<long long>(paper.distill_tasks),
+              static_cast<long long>(high.distill_tasks));
+  std::printf("%-30s %-14d %-14d %-14d\n", "distillers spawned", zero.distillers,
+              paper.distillers, high.distillers);
+  std::printf("%-30s %-14.1f %-14.1f %-14.1f\n", "MB delivered to clients",
+              static_cast<double>(zero.bytes_to_clients) / 1e6,
+              static_cast<double>(paper.bytes_to_clients) / 1e6,
+              static_cast<double>(high.bytes_to_clients) / 1e6);
+  std::printf("%-30s %-14.3f %-14.3f %-14.3f\n", "mean latency (s)", zero.mean_latency,
+              paper.mean_latency, high.mean_latency);
+  std::printf("\nExpected: dropping the threshold to 0 adds distillation work for sub-1 KB\n"
+              "objects with almost no byte savings; raising it to 8 KB ships far more bytes\n"
+              "to the modems. 1 KB sits at the knee — exactly between the GIF plateaus.\n");
+}
+
+}  // namespace
+}  // namespace sns
+
+int main() {
+  sns::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each bench/ binary regenerates one table or figure from the paper's evaluation
+// (§4) and prints it in a comparable layout, with the paper's reported numbers
+// alongside for reference. Absolute values depend on the simulated hardware
+// calibration; the claims under test are the *shapes*: who saturates first, where
+// thresholds fall, what scales linearly.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/services/transend/transend.h"
+#include "src/workload/trace.h"
+
+namespace sns {
+namespace benchutil {
+
+inline void Header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s)\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+// A universe of nearly-uniform ~10 KB JPEGs, as prepared for the scalability
+// experiment: "a trace file that repeatedly requested a fixed number of JPEG
+// images, all approximately 10KB in size" (§4.6).
+inline ContentUniverseConfig FixedJpegUniverse(int64_t urls) {
+  ContentUniverseConfig config;
+  config.url_count = urls;
+  config.sizes.gif_fraction = 0.0;
+  config.sizes.html_fraction = 0.0;
+  config.sizes.jpeg_fraction = 1.0;
+  config.sizes.jpeg_mu = 9.2335;  // exp(mu + s^2/2) ~ 10240 B
+  config.sizes.jpeg_sigma = 0.05;
+  config.sizes.error_page_fraction = 0.0;
+  return config;
+}
+
+// Issues every universe URL once and waits for fetches to land in the cache,
+// eliminating miss penalty from the measurement (as the paper did).
+inline void PrewarmCache(TranSendService* service, PlaybackEngine* client) {
+  for (int64_t i = 0; i < service->universe()->url_count(); ++i) {
+    TraceRecord record;
+    record.user_id = "warmup";
+    record.url = service->universe()->UrlAt(i);
+    client->SendRequest(record);
+    service->sim()->RunFor(Milliseconds(200));
+  }
+  service->sim()->RunFor(Seconds(130));  // Let the slowest origin fetches finish.
+  client->ResetStats();
+}
+
+}  // namespace benchutil
+}  // namespace sns
+
+#endif  // BENCH_BENCH_COMMON_H_

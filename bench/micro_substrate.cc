@@ -1,0 +1,143 @@
+// Microbenchmarks of the substrate components (google-benchmark).
+//
+// Not a paper table — these guard the performance of the building blocks the
+// simulation rests on: the event queue, the codecs, the caches, the index.
+
+#include <benchmark/benchmark.h>
+
+#include "src/content/gif_codec.h"
+#include "src/content/html.h"
+#include "src/content/image.h"
+#include "src/content/jpeg_codec.h"
+#include "src/services/hotbot/inverted_index.h"
+#include "src/sim/simulator.h"
+#include "src/store/consistent_hash.h"
+#include "src/store/kvstore.h"
+#include "src/store/lru_cache.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace sns {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int64_t counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(i * kMicrosecond, [&counter] { ++counter; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Zipf(100000, 0.9));
+  }
+}
+BENCHMARK(BM_RngZipf);
+
+void BM_LruCachePutGet(benchmark::State& state) {
+  LruCache<std::string, int64_t> cache(1 << 20, [](const int64_t&) { return int64_t{64}; });
+  Rng rng(2);
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key = StrFormat("key%lld", static_cast<long long>(rng.Zipf(50000, 0.8)));
+    if (!cache.Get(key).has_value()) {
+      cache.Put(key, i++);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCachePutGet);
+
+void BM_ConsistentHashLookup(benchmark::State& state) {
+  ConsistentHashRing ring(64);
+  for (int64_t m = 0; m < state.range(0); ++m) {
+    ring.AddMember(m);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    std::string key = StrFormat("url%llu", static_cast<unsigned long long>(rng.Next() % 100000));
+    benchmark::DoNotOptimize(ring.Lookup(key));
+  }
+}
+BENCHMARK(BM_ConsistentHashLookup)->Arg(4)->Arg(64);
+
+void BM_KvStoreCommit(benchmark::State& state) {
+  KvStore store;
+  Rng rng(4);
+  for (auto _ : state) {
+    std::string key = StrFormat("user%llu", static_cast<unsigned long long>(rng.Next() % 10000));
+    store.Put(key, std::string(128, 'x'));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvStoreCommit);
+
+void BM_JpegEncode(benchmark::State& state) {
+  Rng rng(5);
+  RasterImage image = SynthesizePhoto(&rng, 160, 120);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JpegEncode(image, 25));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JpegEncode);
+
+void BM_JpegRoundTrip(benchmark::State& state) {
+  Rng rng(6);
+  RasterImage image = SynthesizePhoto(&rng, 160, 120);
+  std::vector<uint8_t> encoded = JpegEncode(image, 50);
+  for (auto _ : state) {
+    auto decoded = JpegDecode(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_JpegRoundTrip);
+
+void BM_GifEncode(benchmark::State& state) {
+  Rng rng(7);
+  RasterImage image = SynthesizePhoto(&rng, 160, 120);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GifEncode(image, 128));
+  }
+}
+BENCHMARK(BM_GifEncode);
+
+void BM_HtmlMunge(benchmark::State& state) {
+  Rng rng(8);
+  HtmlGenOptions options;
+  options.paragraphs = 12;
+  options.inline_images = 6;
+  std::string page = GenerateHtmlPage(&rng, options);
+  MungeOptions munge;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MungeHtml(page, munge));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_HtmlMunge);
+
+void BM_InvertedIndexSearch(benchmark::State& state) {
+  CorpusConfig config;
+  config.doc_count = 5000;
+  std::vector<ShardPtr> shards = BuildShardedCorpus(config, 1);
+  Rng rng(9);
+  for (auto _ : state) {
+    std::vector<std::string> terms = SampleQueryTerms(config, &rng, 2);
+    benchmark::DoNotOptimize(shards[0]->Search(terms, 10));
+  }
+}
+BENCHMARK(BM_InvertedIndexSearch);
+
+}  // namespace
+}  // namespace sns
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// TranSend demo: the Web distillation proxy end-to-end, with REAL image bytes.
+//
+// Fetches pages and images through the proxy for users with different quality
+// preferences, showing genuine GIF->JPEG conversion and JPEG re-encoding (the
+// universe is configured to synthesize decodable images), cache behavior, and the
+// monitor's view of the running system.
+//
+// Run:  ./build/examples/transend_demo
+
+#include <cstdio>
+
+#include "src/content/jpeg_codec.h"
+#include "src/services/transend/transend.h"
+#include "src/util/logging.h"
+
+namespace sns {
+namespace {
+
+void Run() {
+  Logger::Get().set_min_level(LogLevel::kWarning);
+
+  TranSendOptions options = DefaultTranSendOptions();
+  options.universe.url_count = 300;
+  options.universe.real_image_max_bytes = 60000;  // Real decodable imagery.
+  options.topology.worker_pool_nodes = 5;
+  TranSendService service(options);
+
+  UserProfile modem_user("modem-user");
+  modem_user.Set("quality", "low");  // 14.4K modem: crush those images.
+  service.system()->SeedProfile(modem_user);
+  UserProfile lan_user("lan-user");
+  lan_user.Set("quality", "high");
+  service.system()->SeedProfile(lan_user);
+
+  service.Start();
+  PlaybackEngine* client = service.AddPlaybackEngine();
+  service.sim()->RunFor(Seconds(3));
+
+  // Pick one big GIF, one big JPEG, one HTML page from the universe.
+  std::string gif_url;
+  std::string jpeg_url;
+  std::string html_url;
+  for (int64_t i = 0; i < service.universe()->url_count(); ++i) {
+    std::string url = service.universe()->UrlAt(i);
+    int64_t size = service.universe()->ModeledSize(url);
+    if (gif_url.empty() && service.universe()->MimeOf(url) == MimeType::kGif && size > 6000 &&
+        size < 50000) {
+      gif_url = url;
+    }
+    if (jpeg_url.empty() && service.universe()->MimeOf(url) == MimeType::kJpeg &&
+        size > 6000 && size < 50000) {
+      jpeg_url = url;
+    }
+    if (html_url.empty() && service.universe()->MimeOf(url) == MimeType::kHtml &&
+        size > 3000) {
+      html_url = url;
+    }
+  }
+
+  struct Fetch {
+    const char* label;
+    std::string url;
+    std::string user;
+  };
+  Fetch fetches[] = {
+      {"GIF photo, low quality (GIF->JPEG conversion)", gif_url, "modem-user"},
+      {"same GIF again (distilled-variant cache hit)", gif_url, "modem-user"},
+      {"same GIF, high quality (different variant)", gif_url, "lan-user"},
+      {"JPEG photo, low quality (scale + re-encode)", jpeg_url, "modem-user"},
+      {"HTML page (munger: toolbar + proxy links)", html_url, "modem-user"},
+  };
+
+  std::printf("%-50s %10s %10s %8s %s\n", "request", "orig B", "resp B", "lat(s)", "source");
+  for (const Fetch& fetch : fetches) {
+    int64_t before_bytes = client->bytes_received();
+    int64_t before_count = client->completed();
+    TraceRecord record;
+    record.user_id = fetch.user;
+    record.url = fetch.url;
+    client->SendRequest(record);
+    SimTime t0 = service.sim()->now();
+    while (client->completed() == before_count && service.sim()->now() - t0 < Seconds(130)) {
+      service.sim()->RunFor(Seconds(1));
+    }
+    int64_t got = client->bytes_received() - before_bytes;
+    std::string source = "?";
+    // The per-request source isn't tracked individually; show cumulative counts at
+    // the end instead. Here report sizes/latency.
+    std::printf("%-50s %10lld %10lld %8.2f\n", fetch.label,
+                static_cast<long long>(service.universe()->ModeledSize(fetch.url)),
+                static_cast<long long>(got),
+                client->latency_stats().count() > 0
+                    ? ToSeconds(service.sim()->now() - t0)
+                    : -1.0);
+  }
+
+  std::printf("\nresponses by source: ");
+  for (const auto& [source, count] : client->responses_by_source()) {
+    std::printf("%s=%lld  ", source.c_str(), static_cast<long long>(count));
+  }
+  std::printf("\n\n--- The monitor's view (the 'visualization panel', §3.1.7) ---\n");
+  if (service.system()->monitor() != nullptr) {
+    std::printf("%s", service.system()->monitor()->RenderSnapshot().c_str());
+  }
+
+  std::printf("\nEnd-to-end effect (paper §1.1): distillation cuts image bytes by 3-10x for\n"
+              "modem users, with the original a click away.\n");
+}
+
+}  // namespace
+}  // namespace sns
+
+int main() {
+  sns::Run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "src/cluster/failure_injector.h"
+
+#include "src/util/logging.h"
+
+namespace sns {
+
+void FailureInjector::CrashProcessAt(SimTime when, ProcessId pid) {
+  cluster_->sim()->ScheduleAt(when, [this, pid] {
+    if (cluster_->Find(pid) != nullptr) {
+      ++injected_;
+      SNS_LOG(kInfo, "inject") << "crashing pid " << pid;
+      cluster_->Crash(pid);
+    }
+  });
+}
+
+void FailureInjector::CrashNodeAt(SimTime when, NodeId node) {
+  cluster_->sim()->ScheduleAt(when, [this, node] {
+    ++injected_;
+    cluster_->CrashNode(node);
+  });
+}
+
+void FailureInjector::RestartNodeAt(SimTime when, NodeId node) {
+  cluster_->sim()->ScheduleAt(when, [this, node] { cluster_->RestartNode(node); });
+}
+
+void FailureInjector::PartitionAt(SimTime when, const std::vector<NodeId>& minority,
+                                  SimTime heal_at) {
+  cluster_->sim()->ScheduleAt(when, [this, minority] {
+    ++injected_;
+    SNS_LOG(kInfo, "inject") << "partitioning " << minority.size() << " node(s) away";
+    for (NodeId node : minority) {
+      san_->SetPartition(node, 1);
+    }
+  });
+  if (heal_at != kTimeNever) {
+    cluster_->sim()->ScheduleAt(heal_at, [this] {
+      SNS_LOG(kInfo, "inject") << "healing partition";
+      san_->HealPartitions();
+    });
+  }
+}
+
+void FailureInjector::RandomProcessCrashes(Rng* rng, SimDuration mean_interval, SimTime until,
+                                           std::function<ProcessId()> victim_picker) {
+  ScheduleNextRandomCrash(rng, mean_interval, until, std::move(victim_picker));
+}
+
+void FailureInjector::ScheduleNextRandomCrash(Rng* rng, SimDuration mean_interval, SimTime until,
+                                              std::function<ProcessId()> victim_picker) {
+  auto delay = static_cast<SimDuration>(rng->Exponential(static_cast<double>(mean_interval)));
+  SimTime when = cluster_->sim()->now() + delay;
+  if (when > until) {
+    return;
+  }
+  cluster_->sim()->ScheduleAt(
+      when, [this, rng, mean_interval, until, picker = std::move(victim_picker)]() mutable {
+        ProcessId victim = picker();
+        if (victim != kInvalidProcess && cluster_->Find(victim) != nullptr) {
+          ++injected_;
+          SNS_LOG(kInfo, "inject") << "random crash of pid " << victim;
+          cluster_->Crash(victim);
+        }
+        ScheduleNextRandomCrash(rng, mean_interval, until, std::move(picker));
+      });
+}
+
+}  // namespace sns

@@ -1,0 +1,52 @@
+// Failure injection: scripted and randomized crashes of processes, nodes, and SAN
+// partitions.
+//
+// Used by the fault-tolerance experiments (paper §4.5 manually kills two distillers
+// mid-run) and by the property tests that assert the system masks arbitrary
+// transient faults.
+
+#ifndef SRC_CLUSTER_FAILURE_INJECTOR_H_
+#define SRC_CLUSTER_FAILURE_INJECTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/util/rng.h"
+
+namespace sns {
+
+class FailureInjector {
+ public:
+  FailureInjector(Cluster* cluster, San* san) : cluster_(cluster), san_(san) {}
+
+  // --- Scripted faults ----------------------------------------------------------
+  void CrashProcessAt(SimTime when, ProcessId pid);
+  void CrashNodeAt(SimTime when, NodeId node);
+  void RestartNodeAt(SimTime when, NodeId node);
+  // Splits `minority` away from the rest of the cluster at `when`, healing at
+  // `heal_at` (use kTimeNever for a permanent split).
+  void PartitionAt(SimTime when, const std::vector<NodeId>& minority, SimTime heal_at);
+
+  // --- Randomized faults ----------------------------------------------------------
+  // Crashes processes selected by `victim_picker` (returns kInvalidProcess to skip a
+  // round) at exponentially distributed intervals with the given mean, until
+  // `until`. Process-peer fault tolerance should keep the service up throughout.
+  void RandomProcessCrashes(Rng* rng, SimDuration mean_interval, SimTime until,
+                            std::function<ProcessId()> victim_picker);
+
+  int64_t injected_count() const { return injected_; }
+
+ private:
+  void ScheduleNextRandomCrash(Rng* rng, SimDuration mean_interval, SimTime until,
+                               std::function<ProcessId()> victim_picker);
+
+  Cluster* cluster_;
+  San* san_;
+  int64_t injected_ = 0;
+};
+
+}  // namespace sns
+
+#endif  // SRC_CLUSTER_FAILURE_INJECTOR_H_

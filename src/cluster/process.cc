@@ -1,0 +1,51 @@
+#include "src/cluster/process.h"
+
+#include "src/cluster/cluster.h"
+
+namespace sns {
+
+Simulator* Process::sim() const { return cluster_->sim(); }
+
+San* Process::san() const { return cluster_->san(); }
+
+void Process::Send(Message msg, San::SendOptions opts) {
+  msg.src = endpoint_;
+  san()->Send(std::move(msg), std::move(opts));
+}
+
+void Process::SendMulticast(McastGroup group, Message msg) {
+  msg.src = endpoint_;
+  san()->SendMulticast(group, std::move(msg));
+}
+
+void Process::JoinGroup(McastGroup group) { san()->JoinGroup(group, endpoint_); }
+
+void Process::LeaveGroup(McastGroup group) { san()->LeaveGroup(group, endpoint_); }
+
+void Process::RunOnCpu(SimDuration cpu_time, std::function<void()> done) {
+  cluster_->RunOnCpu(endpoint_.node, pid_, cpu_time, std::move(done));
+}
+
+EventId Process::After(SimDuration delay, std::function<void()> fn) {
+  auto id_holder = std::make_shared<EventId>(kInvalidEventId);
+  EventId id = sim()->Schedule(delay, [this, id_holder, fn = std::move(fn)] {
+    pending_timers_.erase(*id_holder);
+    // The cluster cancels pending timers on death, so reaching here implies alive;
+    // still guard for robustness against same-timestamp orderings.
+    if (!running_) {
+      return;
+    }
+    fn();
+  });
+  *id_holder = id;
+  pending_timers_.insert(id);
+  return id;
+}
+
+void Process::CancelTimer(EventId id) {
+  if (pending_timers_.erase(id) > 0) {
+    sim()->Cancel(id);
+  }
+}
+
+}  // namespace sns

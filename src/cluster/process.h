@@ -1,0 +1,87 @@
+// The process abstraction: a software component pinned to one cluster node.
+//
+// Paper §2.1: "each component in the diagram is confined to one node" — front ends,
+// the manager, workers, caches and the monitor are all Processes. A process owns an
+// endpoint on the SAN, can charge work to its node's CPU, set timers, and crash
+// without taking the system down (worker isolation, §2.2.5). Timers and pending CPU
+// completions die with the process.
+
+#ifndef SRC_CLUSTER_PROCESS_H_
+#define SRC_CLUSTER_PROCESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "src/net/message.h"
+#include "src/net/san.h"
+#include "src/sim/simulator.h"
+
+namespace sns {
+
+class Cluster;
+
+using ProcessId = int64_t;
+constexpr ProcessId kInvalidProcess = -1;
+
+class Process {
+ public:
+  explicit Process(std::string name) : name_(std::move(name)) {}
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  // --- Lifecycle hooks (override in subclasses) -------------------------------
+  // Called once when the process starts running on its node.
+  virtual void OnStart() {}
+  // Called for each message delivered to this process's endpoint.
+  virtual void OnMessage(const Message& msg) { (void)msg; }
+  // Called on graceful stop only. A crash (or node failure) skips this — all state
+  // is simply gone, which is exactly the regime BASE soft state is designed for.
+  virtual void OnStop() {}
+
+  // --- Identity ----------------------------------------------------------------
+  const std::string& name() const { return name_; }
+  ProcessId pid() const { return pid_; }
+  NodeId node() const { return endpoint_.node; }
+  const Endpoint& endpoint() const { return endpoint_; }
+  bool running() const { return running_; }
+
+ protected:
+  Simulator* sim() const;
+  San* san() const;
+  Cluster* cluster() const { return cluster_; }
+
+  // Sends from this process's endpoint. msg.src is filled in automatically.
+  void Send(Message msg, San::SendOptions opts = {});
+  void SendMulticast(McastGroup group, Message msg);
+  void JoinGroup(McastGroup group);
+  void LeaveGroup(McastGroup group);
+
+  // Runs `done` once the node's CPU has executed `cpu_time` of work for this
+  // process. The node CPU is a FIFO queue shared by all processes on the node; this
+  // is where distillation cost, TCP/kernel per-request overhead, etc. are charged.
+  // If the process dies first, `done` never runs.
+  void RunOnCpu(SimDuration cpu_time, std::function<void()> done);
+
+  // One-shot timer owned by this process; auto-cancelled if the process dies.
+  EventId After(SimDuration delay, std::function<void()> fn);
+  void CancelTimer(EventId id);
+
+ private:
+  friend class Cluster;
+
+  std::string name_;
+  ProcessId pid_ = kInvalidProcess;
+  Endpoint endpoint_;
+  Cluster* cluster_ = nullptr;
+  bool running_ = false;
+  std::unordered_set<EventId> pending_timers_;
+};
+
+}  // namespace sns
+
+#endif  // SRC_CLUSTER_PROCESS_H_

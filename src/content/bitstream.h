@@ -1,0 +1,124 @@
+// Bit-level I/O used by the image codecs (LZW variable-width codes, exp-Golomb
+// coefficient coding).
+
+#ifndef SRC_CONTENT_BITSTREAM_H_
+#define SRC_CONTENT_BITSTREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sns {
+
+class BitWriter {
+ public:
+  // Appends the low `nbits` of `value`, LSB-first.
+  void WriteBits(uint32_t value, int nbits) {
+    for (int i = 0; i < nbits; ++i) {
+      accum_ |= static_cast<uint32_t>((value >> i) & 1u) << filled_;
+      if (++filled_ == 8) {
+        bytes_.push_back(static_cast<uint8_t>(accum_));
+        accum_ = 0;
+        filled_ = 0;
+      }
+    }
+  }
+
+  void WriteByte(uint8_t b) { WriteBits(b, 8); }
+  void WriteU16(uint16_t v) { WriteBits(v, 16); }
+  void WriteU32(uint32_t v) { WriteBits(v, 32); }
+
+  // Exp-Golomb (gamma) code for unsigned v >= 0.
+  void WriteGolomb(uint32_t v) {
+    uint32_t x = v + 1;
+    int bits = 0;
+    while ((x >> bits) > 1) {
+      ++bits;
+    }
+    WriteBits(0, bits);           // `bits` zeros.
+    WriteBits(1, 1);              // Stop bit (LSB-first: marks the length).
+    WriteBits(x & ((1u << bits) - 1), bits);  // Remaining bits of x.
+  }
+
+  // Signed mapping: 0, -1, 1, -2, 2, ... -> 0, 1, 2, 3, 4, ...
+  void WriteSignedGolomb(int32_t v) {
+    uint32_t mapped = v > 0 ? static_cast<uint32_t>(2 * v) - 1
+                            : static_cast<uint32_t>(-2 * static_cast<int64_t>(v));
+    WriteGolomb(mapped);
+  }
+
+  // Flushes any partial byte (zero-padded) and returns the buffer.
+  std::vector<uint8_t> Finish() {
+    if (filled_ > 0) {
+      bytes_.push_back(static_cast<uint8_t>(accum_));
+      accum_ = 0;
+      filled_ = 0;
+    }
+    return std::move(bytes_);
+  }
+
+  size_t bit_count() const { return bytes_.size() * 8 + static_cast<size_t>(filled_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint32_t accum_ = 0;
+  int filled_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  // Reads `nbits` LSB-first; sets the error flag and returns 0 on underrun.
+  uint32_t ReadBits(int nbits) {
+    uint32_t value = 0;
+    for (int i = 0; i < nbits; ++i) {
+      size_t byte = pos_ >> 3;
+      if (byte >= size_) {
+        error_ = true;
+        return 0;
+      }
+      uint32_t bit = (data_[byte] >> (pos_ & 7)) & 1u;
+      value |= bit << i;
+      ++pos_;
+    }
+    return value;
+  }
+
+  uint8_t ReadByte() { return static_cast<uint8_t>(ReadBits(8)); }
+  uint16_t ReadU16() { return static_cast<uint16_t>(ReadBits(16)); }
+  uint32_t ReadU32() { return ReadBits(32); }
+
+  uint32_t ReadGolomb() {
+    int zeros = 0;
+    while (!error_ && ReadBits(1) == 0) {
+      if (++zeros > 32) {
+        error_ = true;
+        return 0;
+      }
+    }
+    uint32_t rest = zeros > 0 ? ReadBits(zeros) : 0;
+    uint32_t x = (1u << zeros) | rest;
+    return x - 1;
+  }
+
+  int32_t ReadSignedGolomb() {
+    uint32_t mapped = ReadGolomb();
+    if ((mapped & 1u) != 0) {
+      return static_cast<int32_t>((mapped + 1) / 2);
+    }
+    return -static_cast<int32_t>(mapped / 2);
+  }
+
+  bool error() const { return error_; }
+  size_t bits_consumed() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace sns
+
+#endif  // SRC_CONTENT_BITSTREAM_H_

@@ -1,0 +1,37 @@
+// A unit of web content flowing through the system: the thing caches store and
+// distillers transform.
+
+#ifndef SRC_CONTENT_CONTENT_H_
+#define SRC_CONTENT_CONTENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/content/mime.h"
+
+namespace sns {
+
+struct Content {
+  std::string url;
+  MimeType mime = MimeType::kOther;
+  std::vector<uint8_t> bytes;  // Encoded representation (SGIF/SJPG/HTML text/...).
+
+  int64_t size() const { return static_cast<int64_t>(bytes.size()); }
+
+  static std::shared_ptr<const Content> Make(std::string url, MimeType mime,
+                                             std::vector<uint8_t> bytes) {
+    auto c = std::make_shared<Content>();
+    c->url = std::move(url);
+    c->mime = mime;
+    c->bytes = std::move(bytes);
+    return c;
+  }
+};
+
+using ContentPtr = std::shared_ptr<const Content>;
+
+}  // namespace sns
+
+#endif  // SRC_CONTENT_CONTENT_H_

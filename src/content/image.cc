@@ -1,0 +1,301 @@
+#include "src/content/image.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sns {
+
+const Pixel& RasterImage::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+RasterImage BoxDownscale(const RasterImage& in, int factor) {
+  assert(factor >= 1);
+  if (factor == 1 || in.empty()) {
+    return in;
+  }
+  int out_w = (in.width() + factor - 1) / factor;
+  int out_h = (in.height() + factor - 1) / factor;
+  RasterImage out(out_w, out_h);
+  for (int oy = 0; oy < out_h; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      int64_t r = 0;
+      int64_t g = 0;
+      int64_t b = 0;
+      int count = 0;
+      for (int dy = 0; dy < factor; ++dy) {
+        for (int dx = 0; dx < factor; ++dx) {
+          int x = ox * factor + dx;
+          int y = oy * factor + dy;
+          if (x < in.width() && y < in.height()) {
+            const Pixel& p = in.at(x, y);
+            r += p.r;
+            g += p.g;
+            b += p.b;
+            ++count;
+          }
+        }
+      }
+      out.at(ox, oy) = Pixel{static_cast<uint8_t>(r / count), static_cast<uint8_t>(g / count),
+                             static_cast<uint8_t>(b / count)};
+    }
+  }
+  return out;
+}
+
+RasterImage LowPassFilter(const RasterImage& in, int passes) {
+  RasterImage current = in;
+  for (int pass = 0; pass < passes; ++pass) {
+    RasterImage next(current.width(), current.height());
+    for (int y = 0; y < current.height(); ++y) {
+      for (int x = 0; x < current.width(); ++x) {
+        int r = 0;
+        int g = 0;
+        int b = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const Pixel& p = current.at_clamped(x + dx, y + dy);
+            r += p.r;
+            g += p.g;
+            b += p.b;
+          }
+        }
+        next.at(x, y) = Pixel{static_cast<uint8_t>(r / 9), static_cast<uint8_t>(g / 9),
+                              static_cast<uint8_t>(b / 9)};
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+RasterImage ReduceBitDepth(const RasterImage& in, int bits) {
+  assert(bits >= 1 && bits <= 8);
+  int shift = 8 - bits;
+  RasterImage out = in;
+  for (Pixel& p : out.pixels()) {
+    // Quantize and re-expand so the value stays in [0,255].
+    auto q = [shift](uint8_t v) {
+      uint8_t truncated = static_cast<uint8_t>((v >> shift) << shift);
+      // Replicate high bits into low bits to spread levels across the full range.
+      return static_cast<uint8_t>(truncated | (truncated >> (8 - shift == 0 ? 1 : shift)));
+    };
+    if (shift > 0) {
+      p = Pixel{q(p.r), q(p.g), q(p.b)};
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct Box {
+  std::vector<Pixel> pixels;
+
+  int WidestChannel() const {
+    uint8_t rmin = 255, rmax = 0, gmin = 255, gmax = 0, bmin = 255, bmax = 0;
+    for (const Pixel& p : pixels) {
+      rmin = std::min(rmin, p.r);
+      rmax = std::max(rmax, p.r);
+      gmin = std::min(gmin, p.g);
+      gmax = std::max(gmax, p.g);
+      bmin = std::min(bmin, p.b);
+      bmax = std::max(bmax, p.b);
+    }
+    int rspan = rmax - rmin;
+    int gspan = gmax - gmin;
+    int bspan = bmax - bmin;
+    if (rspan >= gspan && rspan >= bspan) {
+      return 0;
+    }
+    return gspan >= bspan ? 1 : 2;
+  }
+
+  int Span() const {
+    uint8_t lo[3] = {255, 255, 255};
+    uint8_t hi[3] = {0, 0, 0};
+    for (const Pixel& p : pixels) {
+      uint8_t c[3] = {p.r, p.g, p.b};
+      for (int i = 0; i < 3; ++i) {
+        lo[i] = std::min(lo[i], c[i]);
+        hi[i] = std::max(hi[i], c[i]);
+      }
+    }
+    return (hi[0] - lo[0]) + (hi[1] - lo[1]) + (hi[2] - lo[2]);
+  }
+
+  Pixel Mean() const {
+    int64_t r = 0, g = 0, b = 0;
+    for (const Pixel& p : pixels) {
+      r += p.r;
+      g += p.g;
+      b += p.b;
+    }
+    auto n = static_cast<int64_t>(pixels.size());
+    return Pixel{static_cast<uint8_t>(r / n), static_cast<uint8_t>(g / n),
+                 static_cast<uint8_t>(b / n)};
+  }
+};
+
+}  // namespace
+
+std::vector<Pixel> MedianCutPalette(const RasterImage& in, int colors,
+                                    std::vector<uint8_t>* indices) {
+  assert(colors >= 1 && colors <= 256);
+  std::vector<Box> boxes;
+  boxes.push_back(Box{in.pixels()});
+  while (static_cast<int>(boxes.size()) < colors) {
+    // Split the box with the largest color span.
+    size_t widest = 0;
+    int best_span = -1;
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].pixels.size() >= 2) {
+        int span = boxes[i].Span();
+        if (span > best_span) {
+          best_span = span;
+          widest = i;
+        }
+      }
+    }
+    if (best_span <= 0) {
+      break;  // All boxes are single colors.
+    }
+    Box& box = boxes[widest];
+    int channel = box.WidestChannel();
+    auto key = [channel](const Pixel& p) {
+      return channel == 0 ? p.r : (channel == 1 ? p.g : p.b);
+    };
+    std::sort(box.pixels.begin(), box.pixels.end(),
+              [&key](const Pixel& a, const Pixel& b) { return key(a) < key(b); });
+    size_t mid = box.pixels.size() / 2;
+    Box right;
+    right.pixels.assign(box.pixels.begin() + static_cast<long>(mid), box.pixels.end());
+    box.pixels.resize(mid);
+    boxes.push_back(std::move(right));
+  }
+  std::vector<Pixel> palette;
+  palette.reserve(boxes.size());
+  for (const Box& box : boxes) {
+    palette.push_back(box.pixels.empty() ? Pixel{} : box.Mean());
+  }
+  if (indices != nullptr) {
+    indices->resize(in.pixels().size());
+    for (size_t i = 0; i < in.pixels().size(); ++i) {
+      const Pixel& p = in.pixels()[i];
+      int best = 0;
+      int best_dist = INT32_MAX;
+      for (size_t c = 0; c < palette.size(); ++c) {
+        int dr = p.r - palette[c].r;
+        int dg = p.g - palette[c].g;
+        int db = p.b - palette[c].b;
+        int dist = dr * dr + dg * dg + db * db;
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<int>(c);
+        }
+      }
+      (*indices)[i] = static_cast<uint8_t>(best);
+    }
+  }
+  return palette;
+}
+
+double MeanAbsoluteError(const RasterImage& a, const RasterImage& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  if (a.empty()) {
+    return 0.0;
+  }
+  int64_t total = 0;
+  for (size_t i = 0; i < a.pixels().size(); ++i) {
+    total += std::abs(a.pixels()[i].r - b.pixels()[i].r);
+    total += std::abs(a.pixels()[i].g - b.pixels()[i].g);
+    total += std::abs(a.pixels()[i].b - b.pixels()[i].b);
+  }
+  return static_cast<double>(total) / (static_cast<double>(a.pixels().size()) * 3.0);
+}
+
+RasterImage SynthesizePhoto(Rng* rng, int width, int height) {
+  RasterImage img(width, height);
+  // Base: two-corner gradient.
+  Pixel c0{static_cast<uint8_t>(rng->UniformInt(0, 255)),
+           static_cast<uint8_t>(rng->UniformInt(0, 255)),
+           static_cast<uint8_t>(rng->UniformInt(0, 255))};
+  Pixel c1{static_cast<uint8_t>(rng->UniformInt(0, 255)),
+           static_cast<uint8_t>(rng->UniformInt(0, 255)),
+           static_cast<uint8_t>(rng->UniformInt(0, 255))};
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      double t = (static_cast<double>(x) / std::max(width - 1, 1) +
+                  static_cast<double>(y) / std::max(height - 1, 1)) /
+                 2.0;
+      img.at(x, y) = Pixel{static_cast<uint8_t>(c0.r + t * (c1.r - c0.r)),
+                           static_cast<uint8_t>(c0.g + t * (c1.g - c0.g)),
+                           static_cast<uint8_t>(c0.b + t * (c1.b - c0.b))};
+    }
+  }
+  // Soft elliptical blobs.
+  int blobs = static_cast<int>(rng->UniformInt(3, 8));
+  for (int i = 0; i < blobs; ++i) {
+    int cx = static_cast<int>(rng->UniformInt(0, width - 1));
+    int cy = static_cast<int>(rng->UniformInt(0, height - 1));
+    double radius = rng->Uniform(0.1, 0.4) * std::min(width, height);
+    Pixel color{static_cast<uint8_t>(rng->UniformInt(0, 255)),
+                static_cast<uint8_t>(rng->UniformInt(0, 255)),
+                static_cast<uint8_t>(rng->UniformInt(0, 255))};
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        double dx = x - cx;
+        double dy = y - cy;
+        double d = std::sqrt(dx * dx + dy * dy);
+        if (d < radius) {
+          double alpha = 0.7 * (1.0 - d / radius);
+          Pixel& p = img.at(x, y);
+          p.r = static_cast<uint8_t>(p.r + alpha * (color.r - p.r));
+          p.g = static_cast<uint8_t>(p.g + alpha * (color.g - p.g));
+          p.b = static_cast<uint8_t>(p.b + alpha * (color.b - p.b));
+        }
+      }
+    }
+  }
+  // Mild sensor noise.
+  for (Pixel& p : img.pixels()) {
+    auto jitter = [&](uint8_t v) {
+      int nv = v + static_cast<int>(rng->UniformInt(-4, 4));
+      return static_cast<uint8_t>(std::clamp(nv, 0, 255));
+    };
+    p = Pixel{jitter(p.r), jitter(p.g), jitter(p.b)};
+  }
+  return img;
+}
+
+RasterImage SynthesizeIcon(Rng* rng, int width, int height) {
+  RasterImage img(width, height);
+  Pixel bg{static_cast<uint8_t>(rng->UniformInt(0, 255)),
+           static_cast<uint8_t>(rng->UniformInt(0, 255)),
+           static_cast<uint8_t>(rng->UniformInt(0, 255))};
+  for (Pixel& p : img.pixels()) {
+    p = bg;
+  }
+  // A handful of flat-color rectangles.
+  int shapes = static_cast<int>(rng->UniformInt(2, 5));
+  for (int i = 0; i < shapes; ++i) {
+    int x0 = static_cast<int>(rng->UniformInt(0, std::max(width - 2, 0)));
+    int y0 = static_cast<int>(rng->UniformInt(0, std::max(height - 2, 0)));
+    int x1 = static_cast<int>(rng->UniformInt(x0, width - 1));
+    int y1 = static_cast<int>(rng->UniformInt(y0, height - 1));
+    Pixel color{static_cast<uint8_t>(rng->UniformInt(0, 255)),
+                static_cast<uint8_t>(rng->UniformInt(0, 255)),
+                static_cast<uint8_t>(rng->UniformInt(0, 255))};
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        img.at(x, y) = color;
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace sns

@@ -1,0 +1,89 @@
+// Raster images and pixel operations used by the distillers.
+//
+// TranSend's image distillers (paper §3.1.6, Fig. 3) scale images down and reduce
+// quality: "Scaling this JPEG image by a factor of 2 in each dimension and reducing
+// JPEG quality to 25 results in a size reduction from 10KB to 1.5KB." The operations
+// here — box downscale, low-pass filter, color quantization — are the real pixel
+// math those distillers run, applied to synthetically generated images.
+
+#ifndef SRC_CONTENT_IMAGE_H_
+#define SRC_CONTENT_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace sns {
+
+struct Pixel {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+  bool operator==(const Pixel& o) const { return r == o.r && g == o.g && b == o.b; }
+};
+
+class RasterImage {
+ public:
+  RasterImage() = default;
+  RasterImage(int width, int height) : width_(width), height_(height) {
+    pixels_.assign(static_cast<size_t>(width) * static_cast<size_t>(height), Pixel{});
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+  int64_t pixel_count() const { return static_cast<int64_t>(pixels_.size()); }
+
+  const Pixel& at(int x, int y) const {
+    return pixels_[static_cast<size_t>(y) * static_cast<size_t>(width_) + static_cast<size_t>(x)];
+  }
+  Pixel& at(int x, int y) {
+    return pixels_[static_cast<size_t>(y) * static_cast<size_t>(width_) + static_cast<size_t>(x)];
+  }
+  // Clamped access for filters that read past edges.
+  const Pixel& at_clamped(int x, int y) const;
+
+  const std::vector<Pixel>& pixels() const { return pixels_; }
+  std::vector<Pixel>& pixels() { return pixels_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Pixel> pixels_;
+};
+
+// --- Operations (each returns a new image) -------------------------------------------
+
+// Averages factor x factor blocks; output dimensions are ceil(dim/factor).
+RasterImage BoxDownscale(const RasterImage& in, int factor);
+
+// 3x3 box blur applied `passes` times (the paper's "low-pass filter").
+RasterImage LowPassFilter(const RasterImage& in, int passes);
+
+// Reduces each channel to `bits` significant bits (bit-depth reduction for
+// handheld-device variants, paper §2.3).
+RasterImage ReduceBitDepth(const RasterImage& in, int bits);
+
+// Median-cut color quantization to at most `colors` palette entries. Returns the
+// palette and writes each pixel's palette index into `indices`.
+std::vector<Pixel> MedianCutPalette(const RasterImage& in, int colors,
+                                    std::vector<uint8_t>* indices);
+
+// Mean absolute per-channel error between same-sized images (quality metric for
+// tests: distillation must stay "still useful").
+double MeanAbsoluteError(const RasterImage& a, const RasterImage& b);
+
+// --- Synthesis -----------------------------------------------------------------------
+
+// Generates a "photo-like" image: smooth gradients, soft blobs and mild noise.
+// Compresses well at low quality — the content class TranSend distills hardest.
+RasterImage SynthesizePhoto(Rng* rng, int width, int height);
+
+// Generates an "icon/cartoon-like" image: few flat colors, hard edges — the under-
+// 1KB GIF class (bullets, icons) that TranSend passes through undistilled.
+RasterImage SynthesizeIcon(Rng* rng, int width, int height);
+
+}  // namespace sns
+
+#endif  // SRC_CONTENT_IMAGE_H_

@@ -1,0 +1,40 @@
+#include "src/content/mime.h"
+
+#include "src/util/strings.h"
+
+namespace sns {
+
+const char* MimeTypeName(MimeType type) {
+  switch (type) {
+    case MimeType::kHtml:
+      return "text/html";
+    case MimeType::kGif:
+      return "image/gif";
+    case MimeType::kJpeg:
+      return "image/jpeg";
+    case MimeType::kOther:
+      return "application/octet-stream";
+  }
+  return "application/octet-stream";
+}
+
+MimeType MimeTypeFromUrl(const std::string& url) {
+  std::string lower = AsciiLower(url);
+  // Strip query string before looking at the extension.
+  size_t q = lower.find('?');
+  if (q != std::string::npos) {
+    lower = lower.substr(0, q);
+  }
+  if (EndsWith(lower, ".html") || EndsWith(lower, ".htm") || EndsWith(lower, "/")) {
+    return MimeType::kHtml;
+  }
+  if (EndsWith(lower, ".gif")) {
+    return MimeType::kGif;
+  }
+  if (EndsWith(lower, ".jpg") || EndsWith(lower, ".jpeg")) {
+    return MimeType::kJpeg;
+  }
+  return MimeType::kOther;
+}
+
+}  // namespace sns

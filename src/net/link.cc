@@ -1,0 +1,38 @@
+#include "src/net/link.h"
+
+#include <algorithm>
+
+namespace sns {
+
+SimDuration Link::ServiceTime(int64_t size_bytes) const {
+  double bits = static_cast<double>(size_bytes) * 8.0;
+  auto serialization = static_cast<SimDuration>(bits / config_.bandwidth_bps *
+                                                static_cast<double>(kSecond));
+  return config_.per_message_overhead + serialization;
+}
+
+std::optional<SimTime> Link::Transmit(SimTime now, int64_t size_bytes, bool drop_if_saturated) {
+  SimTime start = std::max(now, busy_until_);
+  SimDuration queue_delay = start - now;
+  if (drop_if_saturated && queue_delay > config_.max_datagram_queue_delay) {
+    ++messages_dropped_;
+    return std::nullopt;
+  }
+  SimDuration service = ServiceTime(size_bytes);
+  busy_until_ = start + service;
+  busy_time_ += service;
+  ++messages_sent_;
+  bytes_sent_ += size_bytes;
+  return busy_until_;
+}
+
+double Link::Utilization(SimTime now) const {
+  if (now <= 0) {
+    return 0.0;
+  }
+  // Count committed future busy time as utilization too; clamp to 1.
+  double u = static_cast<double>(busy_time_) / static_cast<double>(now);
+  return std::min(u, 1.0);
+}
+
+}  // namespace sns

@@ -1,0 +1,11 @@
+#include "src/net/message.h"
+
+#include "src/util/strings.h"
+
+namespace sns {
+
+std::string Endpoint::ToString() const {
+  return StrFormat("n%d:p%d", node, port);
+}
+
+}  // namespace sns

@@ -1,0 +1,80 @@
+// Message and addressing types for the simulated system-area network.
+//
+// Addressing follows the paper's architecture: every software component (front end,
+// manager, worker stub, cache node, monitor) is a process pinned to a node and
+// reachable at a (node, port) endpoint. Payloads are polymorphic; each layer defines
+// its own payload structs (see src/sns/messages.h).
+
+#ifndef SRC_NET_MESSAGE_H_
+#define SRC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/util/time.h"
+
+namespace sns {
+
+using NodeId = int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+using Port = int32_t;
+constexpr Port kInvalidPort = -1;
+
+// Multicast group identifiers (well-known channels, paper §3.1.2-3.1.3).
+using McastGroup = int32_t;
+
+struct Endpoint {
+  NodeId node = kInvalidNode;
+  Port port = kInvalidPort;
+
+  bool valid() const { return node != kInvalidNode && port != kInvalidPort; }
+  bool operator==(const Endpoint& o) const { return node == o.node && port == o.port; }
+  bool operator!=(const Endpoint& o) const { return !(*this == o); }
+  std::string ToString() const;
+};
+
+struct EndpointHash {
+  size_t operator()(const Endpoint& e) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(static_cast<uint32_t>(e.node)) << 32) |
+                                 static_cast<uint32_t>(e.port));
+  }
+};
+
+// Base class for message payloads. Layers downcast based on Message::type.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+// Message delivery classes, mirroring the two transports the paper uses:
+// reliable point-to-point connections (TCP) and best-effort IP multicast / UDP.
+enum class Transport {
+  kDatagram,  // Best effort; dropped when a link is saturated or a peer is gone.
+  kReliable,  // Never dropped by queueing; pays connection setup cost; fails fast
+              // (sender notified) if the destination process is not bound.
+};
+
+struct Message {
+  Endpoint src;
+  Endpoint dst;              // For multicast, filled per subscriber on delivery.
+  uint32_t type = 0;         // Layer-defined discriminator for payload downcast.
+  int64_t size_bytes = 64;   // Wire size; drives serialization delay.
+  Transport transport = Transport::kDatagram;
+  McastGroup group = -1;     // >= 0 when this was a multicast delivery.
+  SimTime sent_at = 0;
+  std::shared_ptr<const Payload> payload;
+};
+
+// Receive handler installed for a bound endpoint.
+using MessageHandler = std::function<void(const Message&)>;
+
+// Callback informing a reliable sender that delivery failed fast (peer process is
+// not bound even though its node is reachable — the "broken connection" the manager
+// uses to detect distiller crashes, paper §3.1.3).
+using SendFailedHandler = std::function<void(const Message&)>;
+
+}  // namespace sns
+
+#endif  // SRC_NET_MESSAGE_H_

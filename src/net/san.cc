@@ -1,0 +1,245 @@
+#include "src/net/san.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace sns {
+
+San::San(Simulator* sim, SanConfig config) : sim_(sim), config_(config) {}
+
+void San::AddNode(NodeId node) { AddNode(node, config_.default_link); }
+
+void San::AddNode(NodeId node, const LinkConfig& link) {
+  NodeState state;
+  state.egress = std::make_unique<Link>(StrFormat("n%d.egress", node), link);
+  state.ingress = std::make_unique<Link>(StrFormat("n%d.ingress", node), link);
+  nodes_[node] = std::move(state);
+}
+
+bool San::HasNode(NodeId node) const { return nodes_.count(node) > 0; }
+
+void San::SetNodeLinkConfig(NodeId node, const LinkConfig& link) {
+  NodeState* state = GetNode(node);
+  if (state != nullptr) {
+    state->egress->set_config(link);
+    state->ingress->set_config(link);
+  }
+}
+
+Link* San::egress(NodeId node) {
+  NodeState* state = GetNode(node);
+  return state != nullptr ? state->egress.get() : nullptr;
+}
+
+Link* San::ingress(NodeId node) {
+  NodeState* state = GetNode(node);
+  return state != nullptr ? state->ingress.get() : nullptr;
+}
+
+San::NodeState* San::GetNode(NodeId node) {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const San::NodeState* San::GetNode(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+void San::Bind(const Endpoint& ep, MessageHandler handler) {
+  handlers_[ep] = std::move(handler);
+}
+
+void San::Unbind(const Endpoint& ep) {
+  handlers_.erase(ep);
+  // Tear down cached connections touching this endpoint so the next sender pays
+  // setup again and dead-process sends can fail fast.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->src == ep || it->dst == ep) {
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [group, members] : groups_) {
+    members.erase({ep.node, ep.port});
+  }
+}
+
+bool San::IsBound(const Endpoint& ep) const { return handlers_.count(ep) > 0; }
+
+void San::Send(Message msg, SendOptions opts) {
+  msg.sent_at = sim_->now();
+  NodeState* src_node = GetNode(msg.src.node);
+  if (src_node == nullptr || !src_node->up) {
+    ++messages_lost_unreachable_;
+    return;
+  }
+  bool reliable = msg.transport == Transport::kReliable;
+  bool setup = false;
+  if (reliable) {
+    ConnKey key{msg.src, msg.dst};
+    if (opts.force_new_connection || connections_.count(key) == 0) {
+      setup = true;
+      if (!opts.force_new_connection) {
+        connections_.insert(key);
+      }
+    }
+  }
+  if (setup) {
+    // Handshake packets occupy the sender's NIC before the payload.
+    src_node->egress->Transmit(sim_->now(), config_.handshake_bytes, false);
+  }
+  auto departure =
+      src_node->egress->Transmit(sim_->now(), msg.size_bytes, /*drop_if_saturated=*/!reliable);
+  if (!departure.has_value()) {
+    ++datagrams_dropped_;
+    return;
+  }
+  SimTime arrival = *departure + src_node->egress->propagation();
+  DeliverToNode(std::move(msg), arrival, setup, std::move(opts));
+}
+
+void San::DeliverToNode(Message msg, SimTime arrival, bool setup, SendOptions opts) {
+  sim_->ScheduleAt(arrival, [this, msg = std::move(msg), setup, opts = std::move(opts)] {
+    NodeState* src_node = GetNode(msg.src.node);
+    NodeState* dst_node = GetNode(msg.dst.node);
+    bool reliable = msg.transport == Transport::kReliable;
+    if (src_node == nullptr || dst_node == nullptr || !src_node->up || !dst_node->up ||
+        !Reachable(msg.src.node, msg.dst.node)) {
+      ++messages_lost_unreachable_;
+      return;
+    }
+    if (setup) {
+      dst_node->ingress->Transmit(sim_->now(), config_.handshake_bytes, false);
+    }
+    auto finish = dst_node->ingress->Transmit(sim_->now(), msg.size_bytes,
+                                              /*drop_if_saturated=*/!reliable);
+    if (!finish.has_value()) {
+      ++datagrams_dropped_;
+      return;
+    }
+    SimTime deliver_at = *finish + dst_node->ingress->propagation();
+    if (setup) {
+      deliver_at += config_.tcp_setup_cost;
+    }
+    sim_->ScheduleAt(deliver_at, [this, msg, opts] { FinalDeliver(msg, opts); });
+  });
+}
+
+void San::FinalDeliver(const Message& msg, const SendOptions& opts) {
+  const NodeState* dst_node = GetNode(msg.dst.node);
+  if (dst_node == nullptr || !dst_node->up || !Reachable(msg.src.node, msg.dst.node)) {
+    ++messages_lost_unreachable_;
+    return;
+  }
+  auto it = handlers_.find(msg.dst);
+  if (it == handlers_.end()) {
+    if (msg.transport == Transport::kReliable) {
+      ++reliable_failed_fast_;
+      if (opts.on_failed) {
+        opts.on_failed(msg);
+      }
+    } else {
+      ++messages_lost_unreachable_;
+    }
+    return;
+  }
+  ++messages_delivered_;
+  // Copy the handler: the callee may unbind (e.g., crash) during handling.
+  MessageHandler handler = it->second;
+  handler(msg);
+}
+
+void San::JoinGroup(McastGroup group, const Endpoint& ep) {
+  groups_[group].insert({ep.node, ep.port});
+}
+
+void San::LeaveGroup(McastGroup group, const Endpoint& ep) {
+  auto it = groups_.find(group);
+  if (it != groups_.end()) {
+    it->second.erase({ep.node, ep.port});
+  }
+}
+
+size_t San::GroupSize(McastGroup group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.size();
+}
+
+void San::SendMulticast(McastGroup group, Message msg) {
+  msg.sent_at = sim_->now();
+  msg.transport = Transport::kDatagram;
+  msg.group = group;
+  NodeState* src_node = GetNode(msg.src.node);
+  if (src_node == nullptr || !src_node->up) {
+    ++messages_lost_unreachable_;
+    return;
+  }
+  auto it = groups_.find(group);
+  if (it == groups_.end() || it->second.empty()) {
+    return;
+  }
+  // One egress transmission; the switch replicates to each subscriber.
+  auto departure = src_node->egress->Transmit(sim_->now(), msg.size_bytes, true);
+  if (!departure.has_value()) {
+    ++datagrams_dropped_;
+    return;
+  }
+  SimTime arrival = *departure + src_node->egress->propagation();
+  for (const auto& [node, port] : it->second) {
+    if (node == msg.src.node && port == msg.src.port) {
+      continue;  // Don't loop back to the sender.
+    }
+    Message copy = msg;
+    copy.dst = Endpoint{node, port};
+    DeliverToNode(std::move(copy), arrival, /*setup=*/false, SendOptions{});
+  }
+}
+
+void San::SetPartition(NodeId node, int32_t partition_group) {
+  NodeState* state = GetNode(node);
+  if (state != nullptr) {
+    state->partition_group = partition_group;
+  }
+}
+
+void San::HealPartitions() {
+  for (auto& [id, state] : nodes_) {
+    state.partition_group = 0;
+  }
+}
+
+bool San::Reachable(NodeId a, NodeId b) const {
+  const NodeState* na = GetNode(a);
+  const NodeState* nb = GetNode(b);
+  if (na == nullptr || nb == nullptr) {
+    return false;
+  }
+  return na->partition_group == nb->partition_group;
+}
+
+void San::SetNodeUp(NodeId node, bool up) {
+  NodeState* state = GetNode(node);
+  if (state != nullptr) {
+    state->up = up;
+  }
+}
+
+bool San::NodeUp(NodeId node) const {
+  const NodeState* state = GetNode(node);
+  return state != nullptr && state->up;
+}
+
+std::vector<NodeId> San::Nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, state] : nodes_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace sns

@@ -1,0 +1,144 @@
+// The system-area network: a switched star connecting all cluster nodes.
+//
+// Reproduces the transport behaviors the paper's architecture depends on:
+//   - Reliable point-to-point channels (TCP-like) with connection setup cost. A
+//     reliable send to a dead *process* on a live node fails fast ("broken
+//     connection", used by the manager to detect distiller crashes, §3.1.3). A send
+//     to a dead/partitioned *node* is silently lost, leaving detection to
+//     application timeouts (§2.2.4).
+//   - Best-effort datagrams and IP multicast groups (the beacon channels). Under
+//     link saturation these are dropped, reproducing §4.6's finding that a 10 Mb/s
+//     SAN loses the manager's control traffic under load.
+//   - Network partitions (§2.2.4's "workers lost because of a SAN partition").
+
+#ifndef SRC_NET_SAN_H_
+#define SRC_NET_SAN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/message.h"
+#include "src/sim/simulator.h"
+
+namespace sns {
+
+struct SanConfig {
+  LinkConfig default_link;
+  // Extra one-time latency charged when a reliable sender has no cached connection
+  // to the destination (three-way handshake + kernel work). The paper measured TCP
+  // setup/teardown at ~15 ms of Harvest's 27 ms hit time on its hardware; the
+  // Harvest cache protocol forces a fresh connection per request
+  // (force_new_connection below).
+  SimDuration tcp_setup_cost = Milliseconds(1.0);
+  // Wire size of handshake packets charged to both NICs on connection setup.
+  int64_t handshake_bytes = 40;
+};
+
+class San {
+ public:
+  San(Simulator* sim, SanConfig config);
+
+  // --- Topology -------------------------------------------------------------
+  void AddNode(NodeId node);
+  void AddNode(NodeId node, const LinkConfig& link);
+  bool HasNode(NodeId node) const;
+  // Replaces both directions' link configuration for a node's NIC.
+  void SetNodeLinkConfig(NodeId node, const LinkConfig& link);
+
+  Link* egress(NodeId node);
+  Link* ingress(NodeId node);
+
+  // --- Process endpoints ----------------------------------------------------
+  void Bind(const Endpoint& ep, MessageHandler handler);
+  void Unbind(const Endpoint& ep);
+  bool IsBound(const Endpoint& ep) const;
+
+  // --- Sending --------------------------------------------------------------
+  struct SendOptions {
+    // Harvest cache behavior: open a fresh TCP connection for this request even if
+    // one is cached (paper §3.1.5, third deficiency).
+    bool force_new_connection = false;
+    // Reliable only: invoked (at failure-detection time) if the destination process
+    // is not bound although its node is reachable.
+    SendFailedHandler on_failed;
+  };
+
+  void Send(Message msg) { Send(std::move(msg), SendOptions{}); }
+  void Send(Message msg, SendOptions opts);
+
+  // --- Multicast ------------------------------------------------------------
+  void JoinGroup(McastGroup group, const Endpoint& ep);
+  void LeaveGroup(McastGroup group, const Endpoint& ep);
+  // Best-effort delivery to every subscriber except the sender itself.
+  void SendMulticast(McastGroup group, Message msg);
+  size_t GroupSize(McastGroup group) const;
+
+  // --- Failure injection ------------------------------------------------------
+  // Nodes in different partition groups cannot exchange traffic. Default group 0.
+  void SetPartition(NodeId node, int32_t partition_group);
+  void HealPartitions();
+  bool Reachable(NodeId a, NodeId b) const;
+
+  // A down node neither sends nor receives; all its in-flight traffic is lost.
+  void SetNodeUp(NodeId node, bool up);
+  bool NodeUp(NodeId node) const;
+
+  // --- Observability ----------------------------------------------------------
+  int64_t messages_delivered() const { return messages_delivered_; }
+  int64_t datagrams_dropped() const { return datagrams_dropped_; }
+  int64_t reliable_failed_fast() const { return reliable_failed_fast_; }
+  int64_t messages_lost_unreachable() const { return messages_lost_unreachable_; }
+  std::vector<NodeId> Nodes() const;
+
+  Simulator* sim() { return sim_; }
+
+ private:
+  struct NodeState {
+    std::unique_ptr<Link> egress;
+    std::unique_ptr<Link> ingress;
+    bool up = true;
+    int32_t partition_group = 0;
+  };
+
+  struct ConnKey {
+    Endpoint src;
+    Endpoint dst;
+    bool operator==(const ConnKey& o) const { return src == o.src && dst == o.dst; }
+  };
+  struct ConnKeyHash {
+    size_t operator()(const ConnKey& k) const {
+      EndpointHash h;
+      return h(k.src) * 1000003u ^ h(k.dst);
+    }
+  };
+
+  NodeState* GetNode(NodeId node);
+  const NodeState* GetNode(NodeId node) const;
+
+  // Enqueues on the destination's ingress link at `arrival` and schedules final
+  // delivery. `setup` adds handshake packets and latency (new reliable connection).
+  void DeliverToNode(Message msg, SimTime arrival, bool setup, SendOptions opts);
+  void FinalDeliver(const Message& msg, const SendOptions& opts);
+
+  Simulator* sim_;
+  SanConfig config_;
+  std::map<NodeId, NodeState> nodes_;
+  std::unordered_map<Endpoint, MessageHandler, EndpointHash> handlers_;
+  std::map<McastGroup, std::set<std::pair<NodeId, Port>>> groups_;
+  std::unordered_set<ConnKey, ConnKeyHash> connections_;
+
+  int64_t messages_delivered_ = 0;
+  int64_t datagrams_dropped_ = 0;
+  int64_t reliable_failed_fast_ = 0;
+  int64_t messages_lost_unreachable_ = 0;
+};
+
+}  // namespace sns
+
+#endif  // SRC_NET_SAN_H_

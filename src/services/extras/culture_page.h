@@ -1,0 +1,53 @@
+// The Bay Area Culture Page aggregator (paper §5.1).
+//
+// "This service retrieves scheduling information from a number of cultural pages on
+// the web, and collates the results into a single, comprehensive calendar of
+// upcoming events... extremely general, layout-independent heuristics are used to
+// extract scheduling information from the cultural pages. About 10-20% of the time,
+// the heuristics spuriously pick up non-date text..., but the service is still
+// useful and users simply ignore spurious results" — approximate answers at the
+// application layer.
+//
+// The worker is an N-input aggregator: its inputs are the fetched cultural pages;
+// it strips tags, scans sentences for date-like patterns (month names, d/m forms),
+// filters by the user's date window, and renders a calendar page.
+
+#ifndef SRC_SERVICES_EXTRAS_CULTURE_PAGE_H_
+#define SRC_SERVICES_EXTRAS_CULTURE_PAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tacc/worker.h"
+#include "src/util/rng.h"
+
+namespace sns {
+
+inline constexpr char kCulturePageType[] = "culture-page";
+
+struct ExtractedEvent {
+  int month = 0;  // 1..12; 0 when the heuristic misfired on non-date text.
+  int day = 0;
+  std::string description;
+  bool spurious = false;  // Ground truth for tests; a real service wouldn't know.
+};
+
+// Heuristic date extraction from plain text. Sentences containing a month name or
+// a d/m numeric form become events; the heuristics are deliberately loose and also
+// match things like "may concerns" (the paper's 10-20% spurious pickups).
+std::vector<ExtractedEvent> ExtractEvents(const std::string& text);
+
+// Generates a synthetic cultural page with `events` real listings plus prose that
+// the loose heuristics can spuriously match.
+std::string GenerateCulturePage(Rng* rng, const std::string& venue, int events);
+
+class CulturePageWorker : public TaccWorker {
+ public:
+  std::string type() const override { return kCulturePageType; }
+  TaccResult Process(const TaccRequest& request) override;
+  SimDuration EstimateCost(const TaccRequest& request) const override;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SERVICES_EXTRAS_CULTURE_PAGE_H_

@@ -1,0 +1,30 @@
+// The keyword-filter aggregator (paper §5.1).
+//
+// "The keyword filter aggregator is very simple (about 10 lines of Perl). It allows
+// users to specify a [pattern] as customization preference... A simple example
+// filter marks all occurrences of the chosen keywords with large, bold, red
+// typeface." Keywords come from the user profile (key "keywords", comma-separated)
+// or the per-request arg of the same name.
+
+#ifndef SRC_SERVICES_EXTRAS_KEYWORD_FILTER_H_
+#define SRC_SERVICES_EXTRAS_KEYWORD_FILTER_H_
+
+#include <string>
+
+#include "src/tacc/worker.h"
+
+namespace sns {
+
+inline constexpr char kKeywordFilterType[] = "filter-keywords";
+inline constexpr char kArgKeywords[] = "keywords";
+
+class KeywordFilterWorker : public TaccWorker {
+ public:
+  std::string type() const override { return kKeywordFilterType; }
+  TaccResult Process(const TaccRequest& request) override;
+  SimDuration EstimateCost(const TaccRequest& request) const override;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SERVICES_EXTRAS_KEYWORD_FILTER_H_

@@ -1,0 +1,85 @@
+#include "src/services/extras/metasearch.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/strings.h"
+
+namespace sns {
+
+std::vector<MetasearchResult> SimulateEngine(const std::string& engine,
+                                             const std::string& query, int k) {
+  std::vector<MetasearchResult> results;
+  uint64_t h = Fnv1a(engine + "|" + query);
+  for (int rank = 1; rank <= k; ++rank) {
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    MetasearchResult r;
+    r.engine = engine;
+    r.rank = rank;
+    // Overlapping result space across engines (mod 1000) so deduplication matters.
+    r.url = StrFormat("http://result%llu.example.com/page",
+                      static_cast<unsigned long long>(h % 1000));
+    r.title = StrFormat("%s result %d for '%s'", engine.c_str(), rank, query.c_str());
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::vector<MetasearchResult> CollateResults(
+    const std::vector<std::vector<MetasearchResult>>& per_engine, int k) {
+  std::vector<MetasearchResult> collated;
+  std::set<std::string> seen;
+  size_t max_len = 0;
+  for (const auto& list : per_engine) {
+    max_len = std::max(max_len, list.size());
+  }
+  // Interleave by rank: rank-1 answers from every engine first, then rank-2, ...
+  for (size_t rank = 0; rank < max_len && collated.size() < static_cast<size_t>(k); ++rank) {
+    for (const auto& list : per_engine) {
+      if (rank < list.size() && seen.insert(list[rank].url).second) {
+        collated.push_back(list[rank]);
+        if (collated.size() >= static_cast<size_t>(k)) {
+          break;
+        }
+      }
+    }
+  }
+  return collated;
+}
+
+TaccResult MetasearchWorker::Process(const TaccRequest& request) {
+  std::string query = request.ArgOr(kArgSearchString, "");
+  if (query.empty()) {
+    return TaccResult::Fail(InvalidArgumentError("metasearch: empty query"));
+  }
+  std::string engines = request.ArgOr(kArgEngines, "altavista,excite,infoseek");
+  int k = static_cast<int>(request.ArgIntOr("k", 10));
+  std::vector<std::vector<MetasearchResult>> per_engine;
+  for (const std::string& engine : StrSplit(engines, ',')) {
+    if (!engine.empty()) {
+      per_engine.push_back(SimulateEngine(engine, query, k));
+    }
+  }
+  std::vector<MetasearchResult> collated = CollateResults(per_engine, k);
+  std::string page = "<html><body><h1>Metasearch: " + query + "</h1><ol>\n";
+  for (const MetasearchResult& r : collated) {
+    page += StrFormat("<li><a href=\"%s\">%s</a> <i>(%s)</i></li>\n", r.url.c_str(),
+                      r.title.c_str(), r.engine.c_str());
+  }
+  page += "</ol></body></html>\n";
+  std::vector<uint8_t> bytes(page.begin(), page.end());
+  return TaccResult::Ok(Content::Make(request.url, MimeType::kHtml, std::move(bytes)));
+}
+
+SimDuration MetasearchWorker::EstimateCost(const TaccRequest& request) const {
+  // Dominated by the (simulated) WAN queries to the underlying engines.
+  int engines = 1;
+  for (char c : request.ArgOr(kArgEngines, "a,b,c")) {
+    if (c == ',') {
+      ++engines;
+    }
+  }
+  return Milliseconds(40) * engines;
+}
+
+}  // namespace sns

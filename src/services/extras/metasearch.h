@@ -1,0 +1,50 @@
+// The TranSend metasearch aggregator (paper §5.1).
+//
+// "an aggregator accepts a search string from a user, queries a number of popular
+// search engines, and collates the top results from each into a single result
+// page... implemented using 3 pages of Perl code in roughly 2.5 hours, and inherits
+// scalability, fault tolerance, and high availability from the SNS layer."
+//
+// The "popular search engines" are simulated: each engine produces a deterministic
+// ranked result list from the query (as if fetched over the WAN); the aggregator's
+// real work — deduplicating and interleaving results by rank — is genuine.
+
+#ifndef SRC_SERVICES_EXTRAS_METASEARCH_H_
+#define SRC_SERVICES_EXTRAS_METASEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tacc/worker.h"
+
+namespace sns {
+
+inline constexpr char kMetasearchType[] = "metasearch";
+inline constexpr char kArgSearchString[] = "q";
+inline constexpr char kArgEngines[] = "engines";
+
+struct MetasearchResult {
+  std::string engine;
+  std::string url;
+  std::string title;
+  int rank = 0;
+};
+
+// One simulated engine's top-`k` answers for `query`.
+std::vector<MetasearchResult> SimulateEngine(const std::string& engine,
+                                             const std::string& query, int k);
+
+// Interleaves per-engine lists by rank, dropping duplicate URLs (first engine wins).
+std::vector<MetasearchResult> CollateResults(
+    const std::vector<std::vector<MetasearchResult>>& per_engine, int k);
+
+class MetasearchWorker : public TaccWorker {
+ public:
+  std::string type() const override { return kMetasearchType; }
+  TaccResult Process(const TaccRequest& request) override;
+  SimDuration EstimateCost(const TaccRequest& request) const override;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SERVICES_EXTRAS_METASEARCH_H_

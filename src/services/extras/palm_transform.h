@@ -1,0 +1,40 @@
+// The PalmPilot thin-client transformer (paper §5.1).
+//
+// "We have built TranSend workers that output simplified markup and scaled-down
+// images ready to be 'spoon fed' to an extremely simple browser client, given
+// knowledge of the client's screen dimensions and font metrics. This greatly
+// simplifies client-side code since no HTML parsing, layout, or image processing is
+// necessary."
+//
+// The worker performs real layout: it parses HTML, strips markup, wraps text to the
+// device's column width, paginates to the device's row count, and replaces inline
+// images with compact placeholders — emitting a line-oriented "SPOON" format a
+// dumb client can render byte-for-byte.
+
+#ifndef SRC_SERVICES_EXTRAS_PALM_TRANSFORM_H_
+#define SRC_SERVICES_EXTRAS_PALM_TRANSFORM_H_
+
+#include <string>
+
+#include "src/tacc/worker.h"
+
+namespace sns {
+
+inline constexpr char kPalmTransformType[] = "palm-transform";
+inline constexpr char kArgColumns[] = "cols";  // Device text columns (default 40).
+inline constexpr char kArgRows[] = "rows";     // Rows per page (default 12).
+
+// Converts HTML into paginated SPOON text: lines are exactly <= cols characters,
+// pages separated by "\f", images rendered as "[IMG n]" placeholders.
+std::string SpoonFeed(const std::string& html, int cols, int rows);
+
+class PalmTransformWorker : public TaccWorker {
+ public:
+  std::string type() const override { return kPalmTransformType; }
+  TaccResult Process(const TaccRequest& request) override;
+  SimDuration EstimateCost(const TaccRequest& request) const override;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SERVICES_EXTRAS_PALM_TRANSFORM_H_

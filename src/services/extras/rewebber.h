@@ -1,0 +1,47 @@
+// The anonymous rewebber's encryption/decryption workers (paper §5.1).
+//
+// "an anonymous rewebber network allows web authors to anonymously publish their
+// content. ... its workers perform encryption and decryption ... Since encryption
+// and decryption of distinct pages requested by independent users is both
+// computationally intensive and highly parallelizable, this service is a natural
+// fit for our architecture."
+//
+// The cipher is a keyed XOR keystream (a stand-in for the real public-key layers of
+// [Goldberg & Wagner]): genuinely self-inverse byte transformation with a
+// computationally-intensive cost model. Chaining N encrypt stages with distinct
+// keys models an N-hop rewebber chain; decrypt stages applied in reverse order
+// recover the original.
+
+#ifndef SRC_SERVICES_EXTRAS_REWEBBER_H_
+#define SRC_SERVICES_EXTRAS_REWEBBER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tacc/worker.h"
+
+namespace sns {
+
+inline constexpr char kRewebberEncryptType[] = "rewebber-encrypt";
+inline constexpr char kRewebberDecryptType[] = "rewebber-decrypt";
+inline constexpr char kArgKey[] = "key";
+
+// XOR keystream derived from `key`; applying twice with the same key is identity.
+std::vector<uint8_t> XorKeystream(const std::vector<uint8_t>& data, const std::string& key);
+
+class RewebberWorker : public TaccWorker {
+ public:
+  explicit RewebberWorker(bool encrypt) : encrypt_(encrypt) {}
+  std::string type() const override {
+    return encrypt_ ? kRewebberEncryptType : kRewebberDecryptType;
+  }
+  TaccResult Process(const TaccRequest& request) override;
+  SimDuration EstimateCost(const TaccRequest& request) const override;
+
+ private:
+  bool encrypt_;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SERVICES_EXTRAS_REWEBBER_H_

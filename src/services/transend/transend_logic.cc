@@ -1,0 +1,157 @@
+#include "src/services/transend/transend_logic.h"
+
+#include "src/content/mime.h"
+#include "src/services/transend/distillers.h"
+
+namespace sns {
+
+std::map<std::string, std::string> TranSendLogicConfig::ArgsForQuality(
+    const std::string& label) {
+  // Fig. 3's example operating point is the "med" setting: scale 2, quality 25.
+  if (label == "low") {
+    return {{kArgScale, "4"}, {kArgQuality, "10"}};
+  }
+  if (label == "high") {
+    return {{kArgScale, "1"}, {kArgQuality, "50"}};
+  }
+  return {{kArgScale, "2"}, {kArgQuality, "25"}};
+}
+
+std::string TranSendLogic::OriginalKey(const std::string& url) { return url + "|orig"; }
+
+std::string TranSendLogic::VariantKey(const std::string& url, const std::string& quality) {
+  // "Users of TranSend request objects that are named by the object URL and the
+  // user preferences" (§3.1.8).
+  return url + "|distilled|" + quality;
+}
+
+void TranSendLogic::HandleRequest(RequestContext* ctx) {
+  ctx->GetProfile([this](RequestContext* c, bool /*found*/, const UserProfile& profile) {
+    c->SetProfile(profile);
+    // The preferences UI (§2.2.1: the front end "provides the user interface to the
+    // profile database"; §3.1.6: the toolbar's /prefs links land here). Any
+    // "set_<key>" parameter updates the user's profile through the write-through
+    // cache and the ACID store.
+    bool updated_prefs = false;
+    UserProfile updated = profile;
+    if (updated.user_id().empty()) {
+      updated.set_user_id(c->request().user_id);
+    }
+    for (const auto& [key, value] : c->request().params) {
+      if (key.rfind("set_", 0) == 0 && key.size() > 4) {
+        updated.Set(key.substr(4), value);
+        updated_prefs = true;
+      }
+    }
+    if (updated_prefs) {
+      c->PutProfile(updated);
+      c->SetProfile(updated);
+      std::string page = "<html><body><div class=\"transend-toolbar\">Preferences saved for " +
+                         updated.user_id() + ".</div></body></html>";
+      c->Respond(Status::Ok(),
+                 Content::Make(c->request().url, MimeType::kHtml,
+                               std::vector<uint8_t>(page.begin(), page.end())),
+                 ResponseSource::kPassThrough, false);
+      return;
+    }
+    std::string quality = profile.GetOr("quality", config_.default_quality);
+    MimeType mime = MimeTypeFromUrl(c->request().url);
+    bool distillable = profile.GetBoolOr("distill", true) &&
+                       (mime == MimeType::kGif || mime == MimeType::kJpeg ||
+                        mime == MimeType::kHtml);
+    if (!distillable) {
+      // No distiller for this type: pass the original through (§4.1).
+      WithOriginal(c, "");
+      return;
+    }
+    // First choice: the already-distilled variant in the cache.
+    c->CacheGet(VariantKey(c->request().url, quality),
+                [this, quality](RequestContext* c2, bool hit, ContentPtr content) {
+                  if (hit) {
+                    c2->Respond(Status::Ok(), content, ResponseSource::kDistilled, true);
+                    return;
+                  }
+                  WithOriginal(c2, quality);
+                });
+  });
+}
+
+void TranSendLogic::WithOriginal(RequestContext* ctx, const std::string& quality) {
+  ctx->CacheGet(
+      OriginalKey(ctx->request().url),
+      [this, quality](RequestContext* c, bool hit, ContentPtr content) {
+        if (hit) {
+          Distill(c, quality, std::move(content), /*original_was_cached=*/true);
+          return;
+        }
+        // Full miss: fetch from the Internet (the dominant latency, §4.4).
+        c->Fetch(c->request().url, [this, quality](RequestContext* c2, Status status,
+                                                   ContentPtr fetched) {
+          if (!status.ok()) {
+            c2->Respond(status, nullptr, ResponseSource::kError, false);
+            return;
+          }
+          if (config_.cache_originals) {
+            c2->CachePut(OriginalKey(c2->request().url), fetched);
+          }
+          Distill(c2, quality, std::move(fetched), /*original_was_cached=*/false);
+        });
+      });
+}
+
+void TranSendLogic::Distill(RequestContext* ctx, const std::string& quality,
+                            ContentPtr original, bool original_was_cached) {
+  MimeType mime = MimeTypeFromUrl(ctx->request().url);
+  // `quality` empty means the type was not distillable at all.
+  if (quality.empty() || original == nullptr ||
+      original->size() < config_.distill_threshold_bytes) {
+    ctx->Respond(Status::Ok(), original,
+                 quality.empty() ? ResponseSource::kPassThrough : ResponseSource::kCacheOriginal,
+                 original_was_cached);
+    return;
+  }
+
+  std::string worker_type;
+  switch (mime) {
+    case MimeType::kGif:
+      worker_type = kGifDistillerType;
+      break;
+    case MimeType::kJpeg:
+      worker_type = kJpegDistillerType;
+      break;
+    case MimeType::kHtml:
+      worker_type = kHtmlDistillerType;
+      break;
+    case MimeType::kOther:
+      ctx->Respond(Status::Ok(), original, ResponseSource::kPassThrough, original_was_cached);
+      return;
+  }
+
+  std::map<std::string, std::string> args = TranSendLogicConfig::ArgsForQuality(quality);
+  // Forward fault-injection markers ("__poison") from the client request.
+  for (const auto& [key, value] : ctx->request().params) {
+    if (key.rfind("__", 0) == 0) {
+      args[key] = value;
+    }
+  }
+
+  ctx->CallWorker(
+      worker_type, std::move(args), {original},
+      [this, quality, original, original_was_cached](RequestContext* c, Status status,
+                                                     ContentPtr distilled) {
+        if (!status.ok() || distilled == nullptr) {
+          // BASE approximate answer: "If the required distiller has temporarily or
+          // permanently failed, the system can return the original content"
+          // (§3.1.8). Fast and useful beats exact and slow.
+          c->Respond(Status::Ok(), original, ResponseSource::kCacheApproximate,
+                     original_was_cached);
+          return;
+        }
+        if (config_.cache_distilled) {
+          c->CachePut(VariantKey(c->request().url, quality), distilled);
+        }
+        c->Respond(Status::Ok(), distilled, ResponseSource::kDistilled, original_was_cached);
+      });
+}
+
+}  // namespace sns

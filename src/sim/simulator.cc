@@ -1,0 +1,80 @@
+#include "src/sim/simulator.h"
+
+#include "src/util/logging.h"
+
+namespace sns {
+
+Simulator::Simulator() {
+  Logger::Get().set_time_source([this] { return now_; });
+}
+
+Simulator::~Simulator() { Logger::Get().clear_time_source(); }
+
+EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    t = now_;
+  }
+  EventId id = next_id_++;
+  heap_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) {
+    return false;
+  }
+  // Lazily removed when popped. Double-cancel is a no-op returning false.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  stopped_ = false;
+  while (!stopped_ && !heap_.empty()) {
+    // Peek past cancelled events without executing.
+    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().time > t) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+void Simulator::RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+}  // namespace sns

@@ -1,0 +1,88 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substrate that stands in for the paper's physical cluster testbed
+// (15 SPARC Ultra-1s on switched Ethernet): all other modules — the SAN model, node
+// CPU scheduling, SNS beacons and timeouts, the trace playback engine — are driven by
+// events scheduled here. Events at equal times fire in scheduling order (FIFO), so a
+// run is a pure function of its inputs and seeds.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace sns {
+
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run after `delay` (clamped to >= 0). Returns an id usable with
+  // Cancel().
+  EventId Schedule(SimDuration delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `t` (clamped to >= now).
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+
+  // Cancels a pending event. Returns true if the event existed and had not fired.
+  bool Cancel(EventId id);
+
+  // Runs a single event; returns false if the queue is empty.
+  bool Step();
+
+  // Runs until the queue empties or Stop() is called.
+  void Run();
+
+  // Runs events with time <= t, then sets now to t.
+  void RunUntil(SimTime t);
+
+  // Convenience: RunUntil(now + d).
+  void RunFor(SimDuration d);
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;  // Monotonically increasing: ties break FIFO.
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  bool stopped_ = false;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,65 @@
+// Timer helpers layered on the simulator.
+//
+// PeriodicTimer drives the beaconing behaviors central to the paper's soft-state
+// design: the manager beacons its existence and load hints on a multicast channel,
+// workers beacon load reports, the monitor expects periodic component reports.
+// OneShotTimer is the backstop timeout mechanism (paper §2.2.4).
+
+#ifndef SRC_SIM_TIMER_H_
+#define SRC_SIM_TIMER_H_
+
+#include <functional>
+
+#include "src/sim/simulator.h"
+
+namespace sns {
+
+// Fires a callback every `period` until stopped or destroyed. Restartable.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator* sim, SimDuration period, std::function<void()> fn);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  // First firing happens `period` from now (or `initial_delay` if given).
+  void Start();
+  void StartWithDelay(SimDuration initial_delay);
+  void Stop();
+  bool running() const { return pending_ != kInvalidEventId; }
+
+  void set_period(SimDuration period) { period_ = period; }
+  SimDuration period() const { return period_; }
+
+ private:
+  void Fire();
+
+  Simulator* sim_;
+  SimDuration period_;
+  std::function<void()> fn_;
+  EventId pending_ = kInvalidEventId;
+};
+
+// Single-shot timer that can be rearmed or cancelled; cancels itself on destruction.
+class OneShotTimer {
+ public:
+  explicit OneShotTimer(Simulator* sim) : sim_(sim) {}
+  ~OneShotTimer();
+
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+
+  // Arms the timer, replacing any pending firing.
+  void Arm(SimDuration delay, std::function<void()> fn);
+  void Cancel();
+  bool armed() const { return pending_ != kInvalidEventId; }
+
+ private:
+  Simulator* sim_;
+  EventId pending_ = kInvalidEventId;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SIM_TIMER_H_

@@ -1,0 +1,104 @@
+#include "src/sns/cache_node.h"
+
+#include "src/util/logging.h"
+
+namespace sns {
+
+CacheNodeProcess::CacheNodeProcess(const SnsConfig& sns_config, const CacheNodeConfig& config)
+    : Process("cache-node"),
+      sns_config_(sns_config),
+      config_(config),
+      cache_(config.capacity_bytes,
+             [](const ContentPtr& c) { return c == nullptr ? 0 : c->size(); }) {}
+
+void CacheNodeProcess::OnStart() {
+  JoinGroup(kGroupManagerBeacon);
+  report_timer_ = std::make_unique<PeriodicTimer>(sim(), sns_config_.load_report_period,
+                                                  [this] { ReportLoad(); });
+  report_timer_->Start();
+}
+
+void CacheNodeProcess::OnStop() {
+  report_timer_.reset();
+  LeaveGroup(kGroupManagerBeacon);
+}
+
+void CacheNodeProcess::OnMessage(const Message& msg) {
+  switch (msg.type) {
+    case kMsgManagerBeacon: {
+      const auto& beacon = static_cast<const ManagerBeaconPayload&>(*msg.payload);
+      if (beacon.manager != manager_) {
+        manager_ = beacon.manager;
+        auto payload = std::make_shared<RegisterComponentPayload>();
+        payload->kind = ComponentKind::kCacheNode;
+        payload->component = endpoint();
+        Message out;
+        out.dst = manager_;
+        out.type = kMsgRegisterComponent;
+        out.transport = Transport::kReliable;
+        out.size_bytes = 96;
+        out.payload = payload;
+        Send(std::move(out));
+      }
+      break;
+    }
+    case kMsgCacheGet:
+      HandleGet(msg);
+      break;
+    case kMsgCachePut:
+      HandlePut(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void CacheNodeProcess::HandleGet(const Message& msg) {
+  auto get = std::static_pointer_cast<const CacheGetPayload>(msg.payload);
+  ++outstanding_;
+  RunOnCpu(config_.cpu_per_get, [this, get] {
+    --outstanding_;
+    auto reply = std::make_shared<CacheReplyPayload>();
+    reply->op_id = get->op_id;
+    auto value = cache_.Get(get->key);
+    reply->hit = value.has_value();
+    reply->content = value.has_value() ? *value : nullptr;
+    Message out;
+    out.dst = get->reply_to;
+    out.type = kMsgCacheReply;
+    out.transport = Transport::kReliable;
+    out.size_bytes = WireSizeOf(*reply);
+    out.payload = reply;
+    // Harvest opens (and tears down) a TCP connection per request (§3.1.5); the
+    // reply rides the same fresh connection, so no extra setup here.
+    Send(std::move(out));
+  });
+}
+
+void CacheNodeProcess::HandlePut(const Message& msg) {
+  auto put = std::static_pointer_cast<const CachePutPayload>(msg.payload);
+  RunOnCpu(config_.cpu_per_put, [this, put] {
+    if (put->content != nullptr) {
+      cache_.Put(put->key, put->content);
+    }
+  });
+}
+
+void CacheNodeProcess::ReportLoad() {
+  if (!manager_.valid()) {
+    return;
+  }
+  auto payload = std::make_shared<LoadReportPayload>();
+  payload->kind = ComponentKind::kCacheNode;
+  payload->component = endpoint();
+  payload->queue_length = static_cast<double>(outstanding_);
+  Message msg;
+  msg.dst = manager_;
+  msg.type = kMsgLoadReport;
+  msg.transport = Transport::kDatagram;
+  msg.size_bytes = 80;
+  msg.payload = payload;
+  Send(std::move(msg));
+}
+
+}  // namespace sns

@@ -1,0 +1,64 @@
+// A cache node: a worker "whose only job is the management of BASE data" (§3.1.5).
+//
+// Models a Harvest-derived object cache partition: stores original, post-
+// transformation, and intermediate-state content (distillers inject transformed
+// results). Service cost reflects the paper's measurements (§4.4): an average cache
+// hit costs ~27 ms including TCP connection setup/teardown (~15 ms of it), because
+// the Harvest protocol opens a fresh connection per request — clients of this cache
+// send with force_new_connection.
+//
+// "All cached data can be thrown away at the cost of performance" — a crashed cache
+// node simply loses its partition.
+
+#ifndef SRC_SNS_CACHE_NODE_H_
+#define SRC_SNS_CACHE_NODE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cluster/process.h"
+#include "src/sim/timer.h"
+#include "src/sns/config.h"
+#include "src/sns/messages.h"
+#include "src/store/lru_cache.h"
+
+namespace sns {
+
+struct CacheNodeConfig {
+  int64_t capacity_bytes = 1500LL * 1000 * 1000;  // TranSend: 6 GB over 4 nodes.
+  // CPU charged per operation (request parsing, hash lookup, I/O). With the forced
+  // per-request TCP connection this lands hits at ~27 ms end-to-end (§4.4).
+  SimDuration cpu_per_get = Milliseconds(8);
+  SimDuration cpu_per_put = Milliseconds(4);
+};
+
+class CacheNodeProcess : public Process {
+ public:
+  CacheNodeProcess(const SnsConfig& sns_config, const CacheNodeConfig& config);
+
+  void OnStart() override;
+  void OnStop() override;
+  void OnMessage(const Message& msg) override;
+
+  int64_t hits() const { return cache_.hits(); }
+  int64_t misses() const { return cache_.misses(); }
+  int64_t used_bytes() const { return cache_.used_bytes(); }
+  size_t entry_count() const { return cache_.size(); }
+  double outstanding_ops() const { return static_cast<double>(outstanding_); }
+
+ private:
+  void HandleGet(const Message& msg);
+  void HandlePut(const Message& msg);
+  void ReportLoad();
+
+  SnsConfig sns_config_;
+  CacheNodeConfig config_;
+  LruCache<std::string, ContentPtr> cache_;
+  Endpoint manager_;
+  int64_t outstanding_ = 0;
+  std::unique_ptr<PeriodicTimer> report_timer_;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SNS_CACHE_NODE_H_

@@ -1,0 +1,90 @@
+// Tunables for the SNS layer, with defaults taken from (or calibrated to) the
+// paper's deployed TranSend configuration and measurements.
+
+#ifndef SRC_SNS_CONFIG_H_
+#define SRC_SNS_CONFIG_H_
+
+#include "src/util/time.h"
+
+namespace sns {
+
+// How the manager stub picks among interchangeable workers. The paper's system
+// uses load-weighted lottery scheduling; the alternatives exist for the
+// centralized-balancing ablation bench.
+enum class BalancePolicy {
+  kLottery,     // Tickets inversely proportional to predicted queue (paper §3.1.2).
+  kRandom,      // Ignore load hints entirely.
+  kRoundRobin,  // Static rotation, ignoring load.
+};
+
+struct SnsConfig {
+  // --- Soft-state beaconing (§3.1.2, §3.1.3) ---------------------------------------
+  // "The manager periodically beacons its existence on an IP multicast group".
+  SimDuration manager_beacon_period = Seconds(1);
+  // "periodically reports load information to the manager" — §4.6's capacity
+  // experiment has each distiller reporting every half second.
+  SimDuration load_report_period = Milliseconds(500);
+  // Lease on a worker's registration; missing this many reports declares it dead.
+  SimDuration worker_ttl = Seconds(3);
+  // Footnote 2: "distiller load is characterized in terms of the queue length at
+  // the distiller, optionally weighted by the expected cost of distilling each
+  // item." When true, load reports carry cost-weighted queue lengths (in units of
+  // `queue_cost_reference` worth of work).
+  bool weight_queue_by_cost = false;
+  SimDuration queue_cost_reference = Milliseconds(40);
+  // Lease on a front end's registration (manager restarts dead FEs).
+  SimDuration front_end_ttl = Seconds(5);
+  // FE-side: beacon silence after which the front end declares the manager dead and
+  // restarts it (process-peer fault tolerance).
+  SimDuration manager_silence_restart = Seconds(4);
+
+  // --- Load balancing (§3.1.2, §4.5) ---------------------------------------------
+  // Weight of the newest report in the manager's weighted moving average.
+  double load_ewma_alpha = 0.3;
+  // Manager-stub-side linear extrapolation of queue deltas between reports — the
+  // fix for the oscillations described in §4.5. Disable for the ablation bench.
+  bool use_delta_estimation = true;
+  // Stub-side optimistic increment of a worker's predicted queue per in-flight task.
+  bool track_inflight_tasks = true;
+  BalancePolicy balance_policy = BalancePolicy::kLottery;
+
+  // --- Spawning policy (§4.5) -------------------------------------------------------
+  // Threshold H: spawn a new worker when a type's smoothed queue average crosses it.
+  double spawn_threshold_h = 10.0;
+  // Cooldown D: after spawning, give the system D seconds to stabilize.
+  SimDuration spawn_cooldown_d = Seconds(12);
+  // Reap overflow-node workers whose smoothed queue stays below this...
+  double reap_threshold = 0.25;
+  // ...for at least this long ("Once the burst subsides, the distillers may be
+  // reaped", §3.1.2).
+  SimDuration reap_idle_time = Seconds(30);
+  int min_workers_per_type = 1;
+  // Max interchangeable workers colocated per node before using the next node.
+  int max_workers_per_node = 1;
+
+  // --- Timeouts (the BASE backstop failure detector, §2.2.4) ------------------------
+  SimDuration task_timeout = Seconds(6);
+  int task_retries = 2;          // "the request will time out and another worker
+                                 //  will be chosen" (§3.1.8).
+  SimDuration cache_timeout = Seconds(5);
+  SimDuration profile_timeout = Seconds(2);
+  SimDuration fetch_timeout = Seconds(110);
+
+  // --- Front end (§3.1.1, §4.4) ----------------------------------------------------
+  int fe_thread_pool_size = 400;  // "a single front-end of about 400 threads".
+  // Per-request front-end CPU (connection shepherding, dispatch logic).
+  SimDuration fe_cpu_per_request = Milliseconds(1.0);
+
+  // --- Manager --------------------------------------------------------------------
+  // CPU charged to the manager's node per load announcement processed; drives the
+  // §4.6 manager-capacity experiment (900 distillers @ 2 reports/s).
+  SimDuration manager_cpu_per_report = Microseconds(50);
+
+  // --- Monitor --------------------------------------------------------------------
+  SimDuration monitor_report_period = Seconds(1);
+  SimDuration monitor_component_ttl = Seconds(5);
+};
+
+}  // namespace sns
+
+#endif  // SRC_SNS_CONFIG_H_

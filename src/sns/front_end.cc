@@ -1,0 +1,662 @@
+#include "src/sns/front_end.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace sns {
+
+// ---------- RequestContext --------------------------------------------------------
+
+SimTime RequestContext::now() const { return fe_->sim()->now(); }
+
+Rng* RequestContext::rng() { return &fe_->rng_; }
+
+void RequestContext::GetProfile(ProfileCb cb) { fe_->DoGetProfile(this, std::move(cb)); }
+
+void RequestContext::PutProfile(const UserProfile& profile) { fe_->DoPutProfile(profile); }
+
+void RequestContext::CacheGet(const std::string& key, CacheCb cb) {
+  fe_->DoCacheGet(this, key, std::move(cb));
+}
+
+void RequestContext::CachePut(const std::string& key, ContentPtr content) {
+  fe_->DoCachePut(key, std::move(content));
+}
+
+void RequestContext::Fetch(const std::string& url, ContentCb cb) {
+  fe_->DoFetch(this, url, std::move(cb));
+}
+
+void RequestContext::CallWorker(const std::string& type, std::map<std::string, std::string> args,
+                                std::vector<ContentPtr> inputs, ContentCb cb) {
+  fe_->DoCallWorker(this, type, std::move(args), std::move(inputs), std::move(cb));
+}
+
+void RequestContext::CallPipeline(const PipelineSpec& spec, std::vector<ContentPtr> inputs,
+                                  ContentCb cb) {
+  if (spec.empty()) {
+    ContentPtr first = inputs.empty() ? nullptr : inputs.front();
+    cb(this, Status::Ok(), first);
+    return;
+  }
+  auto shared_spec = std::make_shared<const PipelineSpec>(spec);
+  fe_->RunPipelineStage(this, shared_spec, 0, nullptr, std::move(inputs), std::move(cb));
+}
+
+void RequestContext::Respond(const Status& status, ContentPtr content, ResponseSource source,
+                             bool cache_hit) {
+  fe_->FinishRequest(this, status, content, source, cache_hit);
+}
+
+// ---------- FrontEndProcess: lifecycle ---------------------------------------------
+
+FrontEndProcess::FrontEndProcess(const SnsConfig& config, const FrontEndOptions& options,
+                                 std::shared_ptr<FrontEndLogic> logic,
+                                 ComponentLauncher* launcher)
+    : Process(StrFormat("front-end-%d", options.fe_index)),
+      config_(config),
+      options_(options),
+      logic_(std::move(logic)),
+      launcher_(launcher),
+      rng_(options.seed ^ (0x9E3779B9ULL * static_cast<uint64_t>(options.fe_index + 1))),
+      stub_(config, &rng_) {}
+
+void FrontEndProcess::OnStart() {
+  JoinGroup(kGroupManagerBeacon);
+  heartbeat_timer_ =
+      std::make_unique<PeriodicTimer>(sim(), Seconds(1), [this] { Heartbeat(); });
+  heartbeat_timer_->StartWithDelay(Milliseconds(100.0 * (options_.fe_index % 10)));
+  watchdog_timer_ =
+      std::make_unique<PeriodicTimer>(sim(), Seconds(1), [this] { Watchdog(); });
+  watchdog_timer_->StartWithDelay(Milliseconds(500.0 + 137.0 * (options_.fe_index % 10)));
+}
+
+void FrontEndProcess::OnStop() {
+  heartbeat_timer_.reset();
+  watchdog_timer_.reset();
+  LeaveGroup(kGroupManagerBeacon);
+}
+
+void FrontEndProcess::OnMessage(const Message& msg) {
+  switch (msg.type) {
+    case kMsgManagerBeacon:
+      HandleBeacon(static_cast<const ManagerBeaconPayload&>(*msg.payload));
+      break;
+    case kMsgClientRequest:
+      HandleClientRequest(msg);
+      break;
+    case kMsgTaskResponse:
+      HandleTaskResponse(msg);
+      break;
+    case kMsgCacheReply:
+      HandleCacheReply(msg);
+      break;
+    case kMsgProfileReply:
+      HandleProfileReply(msg);
+      break;
+    case kMsgFetchResponse:
+      HandleFetchResponse(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void FrontEndProcess::HandleBeacon(const ManagerBeaconPayload& beacon) {
+  bool new_manager = beacon.manager != stub_.manager();
+  stub_.OnBeacon(beacon, sim()->now());
+  if (new_manager) {
+    RegisterWithManager();
+  }
+}
+
+void FrontEndProcess::RegisterWithManager() {
+  if (!stub_.ManagerKnown()) {
+    return;
+  }
+  auto payload = std::make_shared<RegisterComponentPayload>();
+  payload->kind = ComponentKind::kFrontEnd;
+  payload->component = endpoint();
+  payload->fe_index = options_.fe_index;
+  Message msg;
+  msg.dst = stub_.manager();
+  msg.type = kMsgRegisterComponent;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = 96;
+  msg.payload = payload;
+  Send(std::move(msg));
+}
+
+void FrontEndProcess::Heartbeat() {
+  if (!stub_.ManagerKnown()) {
+    return;
+  }
+  auto payload = std::make_shared<LoadReportPayload>();
+  payload->kind = ComponentKind::kFrontEnd;
+  payload->component = endpoint();
+  payload->queue_length = active_;
+  payload->completed_tasks = completed_;
+  payload->fe_index = options_.fe_index;
+  Message msg;
+  msg.dst = stub_.manager();
+  msg.type = kMsgLoadReport;
+  msg.transport = Transport::kDatagram;
+  msg.size_bytes = 80;
+  msg.payload = payload;
+  Send(std::move(msg));
+}
+
+void FrontEndProcess::Watchdog() {
+  // Process-peer fault tolerance: "The front end detects and restarts a crashed
+  // manager" (§3.1.3). RelaunchManager is idempotent at the system level, so
+  // concurrent detection by several FEs is harmless.
+  if (stub_.ManagerSuspectedDead(sim()->now())) {
+    SNS_LOG(kWarning, "front-end") << "manager beacons silent for "
+                                   << FormatDuration(stub_.BeaconSilence(sim()->now()))
+                                   << "; restarting manager";
+    ++manager_restarts_;
+    launcher_->RelaunchManager();
+  }
+}
+
+// ---------- Request intake ----------------------------------------------------------
+
+void FrontEndProcess::HandleClientRequest(const Message& msg) {
+  auto request = std::static_pointer_cast<const ClientRequestPayload>(msg.payload);
+  if (active_ >= config_.fe_thread_pool_size) {
+    if (accept_queue_.size() >= kAcceptQueueCapacity) {
+      ++shed_;
+      auto reply = std::make_shared<ClientResponsePayload>();
+      reply->client_request_id = request->client_request_id;
+      reply->status = ResourceExhaustedError("front end saturated");
+      reply->source = ResponseSource::kError;
+      Message out;
+      out.dst = msg.src;
+      out.type = kMsgClientResponse;
+      out.transport = Transport::kReliable;
+      out.size_bytes = 96;
+      out.payload = reply;
+      Send(std::move(out));
+      return;
+    }
+    accept_queue_.emplace_back(std::move(request), msg.src);
+    return;
+  }
+  StartRequest(std::move(request), msg.src);
+}
+
+void FrontEndProcess::StartRequest(std::shared_ptr<const ClientRequestPayload> request,
+                                   Endpoint client) {
+  ++active_;
+  peak_active_ = std::max(peak_active_, active_);
+  auto ctx = std::make_unique<RequestContext>();
+  ctx->fe_ = this;
+  ctx->id_ = next_id_++;
+  ctx->request_ = std::move(request);
+  ctx->client_ = client;
+  ctx->started_ = sim()->now();
+  RequestContext* raw = ctx.get();
+  contexts_[raw->id_] = std::move(ctx);
+  // Connection shepherding + dispatch-logic CPU, charged before the logic runs.
+  uint64_t id = raw->id_;
+  RunOnCpu(config_.fe_cpu_per_request, [this, id] {
+    RequestContext* ctx2 = FindContext(id);
+    if (ctx2 != nullptr) {
+      logic_->HandleRequest(ctx2);
+    }
+  });
+}
+
+RequestContext* FrontEndProcess::FindContext(uint64_t request_id) {
+  auto it = contexts_.find(request_id);
+  return it == contexts_.end() ? nullptr : it->second.get();
+}
+
+void FrontEndProcess::FinishRequest(RequestContext* ctx, const Status& status,
+                                    const ContentPtr& content, ResponseSource source,
+                                    bool cache_hit) {
+  if (ctx->responded_) {
+    return;
+  }
+  ctx->responded_ = true;
+  auto reply = std::make_shared<ClientResponsePayload>();
+  reply->client_request_id = ctx->request_->client_request_id;
+  reply->status = status;
+  reply->content = content;
+  reply->source = source;
+  reply->cache_hit = cache_hit;
+  Message out;
+  out.dst = ctx->client_;
+  out.type = kMsgClientResponse;
+  out.transport = Transport::kReliable;
+  out.size_bytes = WireSizeOf(*reply);
+  out.payload = reply;
+  Send(std::move(out));
+
+  latency_hist_.Add(ToSeconds(sim()->now() - ctx->started_));
+  ++completed_;
+  if (!status.ok()) {
+    ++errors_;
+  }
+  ++responses_by_source_[ResponseSourceName(source)];
+
+  contexts_.erase(ctx->id_);
+  --active_;
+  if (!accept_queue_.empty() && active_ < config_.fe_thread_pool_size) {
+    auto [next_request, next_client] = std::move(accept_queue_.front());
+    accept_queue_.pop_front();
+    StartRequest(std::move(next_request), next_client);
+  }
+}
+
+// ---------- Profile facility -----------------------------------------------------------
+
+void FrontEndProcess::DoGetProfile(RequestContext* ctx, RequestContext::ProfileCb cb) {
+  const std::string& user = ctx->request_->user_id;
+  auto cached = profile_cache_.find(user);
+  if (cached != profile_cache_.end()) {
+    cb(ctx, true, cached->second);
+    return;
+  }
+  const Endpoint& db = stub_.profile_db();
+  if (!db.valid()) {
+    cb(ctx, false, UserProfile(user));
+    return;
+  }
+  uint64_t op_id = next_id_++;
+  auto payload = std::make_shared<ProfileGetPayload>();
+  payload->op_id = op_id;
+  payload->user_id = user;
+  payload->reply_to = endpoint();
+  PendingProfileOp op;
+  op.request_id = ctx->id_;
+  op.cb = std::move(cb);
+  op.timeout = After(config_.profile_timeout, [this, op_id] {
+    auto it = pending_profile_.find(op_id);
+    if (it == pending_profile_.end()) {
+      return;
+    }
+    PendingProfileOp pending = std::move(it->second);
+    pending_profile_.erase(it);
+    RequestContext* ctx2 = FindContext(pending.request_id);
+    if (ctx2 != nullptr && !ctx2->responded_) {
+      // BASE: fall back to an empty profile rather than failing the request.
+      pending.cb(ctx2, false, UserProfile(ctx2->request_->user_id));
+    }
+  });
+  pending_profile_[op_id] = std::move(op);
+  Message msg;
+  msg.dst = db;
+  msg.type = kMsgProfileGet;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = 64 + static_cast<int64_t>(user.size());
+  msg.payload = payload;
+  Send(std::move(msg));
+}
+
+void FrontEndProcess::HandleProfileReply(const Message& msg) {
+  const auto& reply = static_cast<const ProfileReplyPayload&>(*msg.payload);
+  auto it = pending_profile_.find(reply.op_id);
+  if (it == pending_profile_.end()) {
+    return;  // Timed out earlier.
+  }
+  PendingProfileOp op = std::move(it->second);
+  pending_profile_.erase(it);
+  CancelTimer(op.timeout);
+  RequestContext* ctx = FindContext(op.request_id);
+  if (ctx == nullptr || ctx->responded_) {
+    return;
+  }
+  if (reply.found) {
+    profile_cache_[reply.profile.user_id()] = reply.profile;
+    op.cb(ctx, true, reply.profile);
+  } else {
+    op.cb(ctx, false, UserProfile(ctx->request_->user_id));
+  }
+}
+
+void FrontEndProcess::DoPutProfile(const UserProfile& profile) {
+  // Write-through: update the local cache and persist to the ACID store.
+  profile_cache_[profile.user_id()] = profile;
+  const Endpoint& db = stub_.profile_db();
+  if (!db.valid()) {
+    return;
+  }
+  auto payload = std::make_shared<ProfilePutPayload>();
+  payload->profile = profile;
+  Message msg;
+  msg.dst = db;
+  msg.type = kMsgProfilePut;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = 64 + profile.WireSize();
+  msg.payload = payload;
+  Send(std::move(msg));
+}
+
+// ---------- Cache facility ------------------------------------------------------------
+
+std::optional<Endpoint> FrontEndProcess::CacheNodeForKey(const std::string& key) {
+  const std::vector<Endpoint>& nodes = stub_.cache_nodes();
+  if (nodes.empty()) {
+    return std::nullopt;
+  }
+  // Hash the key space across partitions; membership changes re-hash automatically
+  // because the node list comes from the (soft-state) beacon.
+  uint64_t h = Fnv1a(key);
+  return nodes[h % nodes.size()];
+}
+
+void FrontEndProcess::DoCacheGet(RequestContext* ctx, const std::string& key,
+                                 RequestContext::CacheCb cb) {
+  auto node = CacheNodeForKey(key);
+  if (!node.has_value()) {
+    cb(ctx, false, nullptr);
+    return;
+  }
+  uint64_t op_id = next_id_++;
+  auto payload = std::make_shared<CacheGetPayload>();
+  payload->op_id = op_id;
+  payload->key = key;
+  payload->reply_to = endpoint();
+  PendingCacheOp op;
+  op.request_id = ctx->id_;
+  op.cb = std::move(cb);
+  op.timeout = After(config_.cache_timeout, [this, op_id] {
+    auto it = pending_cache_.find(op_id);
+    if (it == pending_cache_.end()) {
+      return;
+    }
+    PendingCacheOp pending = std::move(it->second);
+    pending_cache_.erase(it);
+    RequestContext* ctx2 = FindContext(pending.request_id);
+    if (ctx2 != nullptr && !ctx2->responded_) {
+      pending.cb(ctx2, false, nullptr);  // Timeout == miss (caching is an optimization).
+    }
+  });
+  pending_cache_[op_id] = std::move(op);
+  Message msg;
+  msg.dst = *node;
+  msg.type = kMsgCacheGet;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = WireSizeOf(*payload);
+  msg.payload = payload;
+  // Harvest's protocol: a fresh TCP connection per cache request (§3.1.5).
+  San::SendOptions opts;
+  opts.force_new_connection = true;
+  Send(std::move(msg), std::move(opts));
+}
+
+void FrontEndProcess::HandleCacheReply(const Message& msg) {
+  const auto& reply = static_cast<const CacheReplyPayload&>(*msg.payload);
+  auto it = pending_cache_.find(reply.op_id);
+  if (it == pending_cache_.end()) {
+    return;
+  }
+  PendingCacheOp op = std::move(it->second);
+  pending_cache_.erase(it);
+  CancelTimer(op.timeout);
+  RequestContext* ctx = FindContext(op.request_id);
+  if (ctx == nullptr || ctx->responded_) {
+    return;
+  }
+  op.cb(ctx, reply.hit, reply.content);
+}
+
+void FrontEndProcess::DoCachePut(const std::string& key, ContentPtr content) {
+  auto node = CacheNodeForKey(key);
+  if (!node.has_value() || content == nullptr) {
+    return;
+  }
+  auto payload = std::make_shared<CachePutPayload>();
+  payload->key = key;
+  payload->content = std::move(content);
+  Message msg;
+  msg.dst = *node;
+  msg.type = kMsgCachePut;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = WireSizeOf(*payload);
+  msg.payload = payload;
+  San::SendOptions opts;
+  opts.force_new_connection = true;
+  Send(std::move(msg), std::move(opts));
+}
+
+// ---------- Origin fetch facility --------------------------------------------------------
+
+void FrontEndProcess::DoFetch(RequestContext* ctx, const std::string& url,
+                              RequestContext::ContentCb cb) {
+  if (!options_.origin.valid()) {
+    cb(ctx, UnavailableError("no origin configured"), nullptr);
+    return;
+  }
+  uint64_t op_id = next_id_++;
+  auto payload = std::make_shared<FetchRequestPayload>();
+  payload->op_id = op_id;
+  payload->url = url;
+  payload->reply_to = endpoint();
+  PendingFetchOp op;
+  op.request_id = ctx->id_;
+  op.cb = std::move(cb);
+  op.timeout = After(config_.fetch_timeout, [this, op_id] {
+    auto it = pending_fetch_.find(op_id);
+    if (it == pending_fetch_.end()) {
+      return;
+    }
+    PendingFetchOp pending = std::move(it->second);
+    pending_fetch_.erase(it);
+    RequestContext* ctx2 = FindContext(pending.request_id);
+    if (ctx2 != nullptr && !ctx2->responded_) {
+      pending.cb(ctx2, TimeoutError("origin fetch timed out"), nullptr);
+    }
+  });
+  pending_fetch_[op_id] = std::move(op);
+  Message msg;
+  msg.dst = options_.origin;
+  msg.type = kMsgFetchRequest;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = 96 + static_cast<int64_t>(url.size());
+  msg.payload = payload;
+  Send(std::move(msg));
+}
+
+void FrontEndProcess::HandleFetchResponse(const Message& msg) {
+  const auto& reply = static_cast<const FetchResponsePayload&>(*msg.payload);
+  auto it = pending_fetch_.find(reply.op_id);
+  if (it == pending_fetch_.end()) {
+    return;
+  }
+  PendingFetchOp op = std::move(it->second);
+  pending_fetch_.erase(it);
+  CancelTimer(op.timeout);
+  RequestContext* ctx = FindContext(op.request_id);
+  if (ctx == nullptr || ctx->responded_) {
+    return;
+  }
+  op.cb(ctx, reply.status, reply.content);
+}
+
+// ---------- Worker dispatch ---------------------------------------------------------------
+
+void FrontEndProcess::DoCallWorker(RequestContext* ctx, const std::string& type,
+                                   std::map<std::string, std::string> args,
+                                   std::vector<ContentPtr> inputs,
+                                   RequestContext::ContentCb cb) {
+  uint64_t task_id = next_id_++;
+  auto payload = std::make_shared<TaskRequestPayload>();
+  payload->task_id = task_id;
+  payload->url = ctx->request_->url;
+  payload->inputs = std::move(inputs);
+  payload->profile = ctx->profile_;  // TACC: profiles ride along automatically (§2.3).
+  payload->args = std::move(args);
+  payload->reply_to = endpoint();
+
+  PendingTask task;
+  task.request_id = ctx->id_;
+  task.type = type;
+  task.payload = std::move(payload);
+  task.cb = std::move(cb);
+  task.attempts_left = config_.task_retries + 1;
+  task.spawn_waits_left = 20;
+  pending_tasks_[task_id] = std::move(task);
+  AttemptTask(task_id);
+}
+
+void FrontEndProcess::RunPipelineStage(RequestContext* ctx,
+                                       std::shared_ptr<const PipelineSpec> spec, size_t stage,
+                                       ContentPtr current, std::vector<ContentPtr> first_inputs,
+                                       RequestContext::ContentCb cb) {
+  if (stage >= spec->stages.size()) {
+    cb(ctx, Status::Ok(), current);
+    return;
+  }
+  const PipelineStage& s = spec->stages[stage];
+  std::vector<ContentPtr> inputs =
+      stage == 0 ? std::move(first_inputs) : std::vector<ContentPtr>{current};
+  auto args = s.args;
+  DoCallWorker(ctx, s.worker_type, std::move(args), std::move(inputs),
+               [this, spec, stage, cb](RequestContext* ctx2, Status status, ContentPtr output) {
+                 if (!status.ok()) {
+                   cb(ctx2, std::move(status), nullptr);
+                   return;
+                 }
+                 RunPipelineStage(ctx2, spec, stage + 1, std::move(output), {}, cb);
+               });
+}
+
+void FrontEndProcess::AttemptTask(uint64_t task_id) {
+  auto it = pending_tasks_.find(task_id);
+  if (it == pending_tasks_.end()) {
+    return;
+  }
+  PendingTask& task = it->second;
+  RequestContext* ctx = FindContext(task.request_id);
+  if (ctx == nullptr || ctx->responded_) {
+    pending_tasks_.erase(it);
+    return;
+  }
+  auto worker = stub_.PickWorker(task.type, sim()->now());
+  if (!worker.has_value()) {
+    // No live worker known: ask the manager to spawn one and retry shortly
+    // ("the manager ... locates an appropriate distiller, spawning a new one if
+    // necessary", §3.1.2).
+    if (task.spawn_waits_left-- <= 0) {
+      FailTask(task_id, UnavailableError("no worker of type " + task.type));
+      return;
+    }
+    if (stub_.ManagerKnown()) {
+      auto payload = std::make_shared<SpawnRequestPayload>();
+      payload->worker_type = task.type;
+      Message msg;
+      msg.dst = stub_.manager();
+      msg.type = kMsgSpawnRequest;
+      msg.transport = Transport::kReliable;
+      msg.size_bytes = 64;
+      msg.payload = payload;
+      Send(std::move(msg));
+    }
+    After(Milliseconds(300), [this, task_id] { AttemptTask(task_id); });
+    return;
+  }
+
+  task.worker = *worker;
+  stub_.NoteTaskSent(*worker);
+  task.timeout = After(config_.task_timeout, [this, task_id] {
+    auto it2 = pending_tasks_.find(task_id);
+    if (it2 == pending_tasks_.end()) {
+      return;
+    }
+    ++task_timeouts_;
+    stub_.NoteTaskDone(it2->second.worker);
+    TaskAttemptFailed(task_id, /*worker_dead=*/false);
+  });
+
+  Message msg;
+  msg.dst = *worker;
+  msg.type = kMsgTaskRequest;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = WireSizeOf(*task.payload);
+  msg.payload = task.payload;
+  San::SendOptions opts;
+  opts.on_failed = [this, task_id](const Message&) {
+    // Broken connection: the worker process is gone (§3.1.3 fast failure detection).
+    auto it2 = pending_tasks_.find(task_id);
+    if (it2 == pending_tasks_.end()) {
+      return;
+    }
+    CancelTimer(it2->second.timeout);
+    stub_.NoteTaskDone(it2->second.worker);
+    TaskAttemptFailed(task_id, /*worker_dead=*/true);
+  };
+  Send(std::move(msg), std::move(opts));
+}
+
+void FrontEndProcess::TaskAttemptFailed(uint64_t task_id, bool worker_dead) {
+  auto it = pending_tasks_.find(task_id);
+  if (it == pending_tasks_.end()) {
+    return;
+  }
+  PendingTask& task = it->second;
+  if (worker_dead && stub_.NoteWorkerDead(task.worker)) {
+    ReportWorkerDead(task.worker, task.type);
+  }
+  if (--task.attempts_left <= 0) {
+    FailTask(task_id, TimeoutError("worker " + task.type + " did not respond"));
+    return;
+  }
+  ++task_retries_used_;
+  AttemptTask(task_id);
+}
+
+void FrontEndProcess::FailTask(uint64_t task_id, Status status) {
+  auto it = pending_tasks_.find(task_id);
+  if (it == pending_tasks_.end()) {
+    return;
+  }
+  PendingTask task = std::move(it->second);
+  pending_tasks_.erase(it);
+  CancelTimer(task.timeout);
+  RequestContext* ctx = FindContext(task.request_id);
+  if (ctx != nullptr && !ctx->responded_) {
+    task.cb(ctx, std::move(status), nullptr);
+  }
+}
+
+void FrontEndProcess::ReportWorkerDead(const Endpoint& worker, const std::string& type) {
+  if (!stub_.ManagerKnown()) {
+    return;
+  }
+  auto payload = std::make_shared<LoadReportPayload>();
+  payload->kind = ComponentKind::kWorker;
+  payload->worker_type = type;
+  payload->component = worker;
+  payload->queue_length = -1;  // Sentinel: observed dead.
+  Message msg;
+  msg.dst = stub_.manager();
+  msg.type = kMsgLoadReport;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = 80;
+  msg.payload = payload;
+  Send(std::move(msg));
+}
+
+void FrontEndProcess::HandleTaskResponse(const Message& msg) {
+  const auto& reply = static_cast<const TaskResponsePayload&>(*msg.payload);
+  auto it = pending_tasks_.find(reply.task_id);
+  if (it == pending_tasks_.end()) {
+    return;  // Late response after a timeout-triggered retry; drop it.
+  }
+  PendingTask task = std::move(it->second);
+  pending_tasks_.erase(it);
+  CancelTimer(task.timeout);
+  stub_.NoteTaskDone(task.worker);
+  RequestContext* ctx = FindContext(task.request_id);
+  if (ctx == nullptr || ctx->responded_) {
+    return;
+  }
+  task.cb(ctx, reply.status, reply.output);
+}
+
+}  // namespace sns

@@ -1,0 +1,247 @@
+// The front end: the service's interface to the outside world (paper §2.1, §3.1.1).
+//
+// "Front ends maximize system throughput by maintaining state for many simultaneous
+// outstanding requests" — each accepted request occupies one thread from a large
+// pool (TranSend production ran ~400) and is driven as an asynchronous state
+// machine: profile lookup (write-through cached), cache probes, worker dispatch
+// through the manager stub, origin fetches, and the final client response.
+//
+// The front end encapsulates the service-specific dispatch logic behind
+// FrontEndLogic, so "the behavior of the service as a whole [is] defined almost
+// entirely in the front end" (§2.2.1) while the SNS machinery here stays reusable.
+//
+// Process-peer duties (§3.1.3): the front end watches manager beacons and restarts
+// a silent manager; the manager symmetrically restarts silent front ends.
+
+#ifndef SRC_SNS_FRONT_END_H_
+#define SRC_SNS_FRONT_END_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/process.h"
+#include "src/sim/timer.h"
+#include "src/sns/config.h"
+#include "src/sns/launcher.h"
+#include "src/sns/manager_stub.h"
+#include "src/sns/messages.h"
+#include "src/store/consistent_hash.h"
+#include "src/tacc/pipeline.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sns {
+
+class FrontEndProcess;
+
+// Per-request handle given to the service logic. All facility calls are
+// asynchronous; callbacks fire only while the request is still live (not yet
+// responded, front end still running).
+class RequestContext {
+ public:
+  using ProfileCb = std::function<void(RequestContext*, bool found, const UserProfile&)>;
+  using CacheCb = std::function<void(RequestContext*, bool hit, ContentPtr)>;
+  using ContentCb = std::function<void(RequestContext*, Status, ContentPtr)>;
+
+  const ClientRequestPayload& request() const { return *request_; }
+  uint64_t id() const { return id_; }
+  SimTime started_at() const { return started_; }
+  SimTime now() const;
+  Rng* rng();
+
+  // Profile database access with the FE's write-through cache (§3.1.4).
+  void GetProfile(ProfileCb cb);
+  void PutProfile(const UserProfile& profile);
+
+  // The profile attached to this request. Once set (typically inside the GetProfile
+  // callback), it is automatically delivered to workers with every task — the TACC
+  // mass-customization contract (§2.3).
+  void SetProfile(UserProfile profile) { profile_ = std::move(profile); }
+  const UserProfile& profile() const { return profile_; }
+
+  // Virtual cache: the key space is hashed across all live cache partitions
+  // (§3.1.5); a timeout counts as a miss.
+  void CacheGet(const std::string& key, CacheCb cb);
+  void CachePut(const std::string& key, ContentPtr content);
+
+  // Fetch from the simulated Internet (cache-miss path).
+  void Fetch(const std::string& url, ContentCb cb);
+
+  // Ships a task to a worker of `type` chosen by lottery scheduling; on timeout or
+  // broken connection, retries on another worker (§3.1.8 "the request will time out
+  // and another worker will be chosen"). If no worker is known, asks the manager to
+  // spawn one and waits briefly.
+  void CallWorker(const std::string& type, std::map<std::string, std::string> args,
+                  std::vector<ContentPtr> inputs, ContentCb cb);
+
+  // Chains CallWorker over the stages of a TACC pipeline (§2.3).
+  void CallPipeline(const PipelineSpec& spec, std::vector<ContentPtr> inputs, ContentCb cb);
+
+  // Completes the request. Exactly one Respond per request; later facility
+  // callbacks are dropped.
+  void Respond(const Status& status, ContentPtr content, ResponseSource source, bool cache_hit);
+
+ private:
+  friend class FrontEndProcess;
+
+  FrontEndProcess* fe_ = nullptr;
+  uint64_t id_ = 0;
+  std::shared_ptr<const ClientRequestPayload> request_;
+  Endpoint client_;
+  SimTime started_ = 0;
+  bool responded_ = false;
+  UserProfile profile_;
+};
+
+// Service-specific dispatch logic (the Service layer of Figure 2).
+class FrontEndLogic {
+ public:
+  virtual ~FrontEndLogic() = default;
+  virtual void HandleRequest(RequestContext* ctx) = 0;
+};
+
+struct FrontEndOptions {
+  int fe_index = 0;
+  Endpoint origin;  // The simulated Internet gateway; invalid if the service has none.
+  uint64_t seed = 0x5EED;
+};
+
+class FrontEndProcess : public Process {
+ public:
+  FrontEndProcess(const SnsConfig& config, const FrontEndOptions& options,
+                  std::shared_ptr<FrontEndLogic> logic, ComponentLauncher* launcher);
+
+  void OnStart() override;
+  void OnStop() override;
+  void OnMessage(const Message& msg) override;
+
+  // --- Observability ------------------------------------------------------------
+  int fe_index() const { return options_.fe_index; }
+  const ManagerStub& stub() const { return stub_; }
+  int active_requests() const { return active_; }
+  int queued_requests() const { return static_cast<int>(accept_queue_.size()); }
+  int peak_active_requests() const { return peak_active_; }
+  int64_t completed_requests() const { return completed_; }
+  int64_t error_responses() const { return errors_; }
+  int64_t task_timeouts() const { return task_timeouts_; }
+  int64_t task_retries_used() const { return task_retries_used_; }
+  int64_t manager_restarts_triggered() const { return manager_restarts_; }
+  int64_t requests_shed() const { return shed_; }
+  const Histogram& latency_histogram() const { return latency_hist_; }
+  const std::map<std::string, int64_t>& responses_by_source() const {
+    return responses_by_source_;
+  }
+
+  // Accept queue bound; beyond it the FE sheds load with an error (the paper's FEs
+  // simply stopped accepting connections when saturated).
+  static constexpr size_t kAcceptQueueCapacity = 4000;
+
+ private:
+  friend class RequestContext;
+
+  struct PendingTask {
+    uint64_t request_id = 0;
+    std::string type;
+    std::shared_ptr<TaskRequestPayload> payload;
+    RequestContext::ContentCb cb;
+    Endpoint worker;
+    int attempts_left = 0;
+    int spawn_waits_left = 0;
+    EventId timeout = kInvalidEventId;
+  };
+  struct PendingCacheOp {
+    uint64_t request_id = 0;
+    RequestContext::CacheCb cb;
+    EventId timeout = kInvalidEventId;
+  };
+  struct PendingProfileOp {
+    uint64_t request_id = 0;
+    RequestContext::ProfileCb cb;
+    EventId timeout = kInvalidEventId;
+  };
+  struct PendingFetchOp {
+    uint64_t request_id = 0;
+    RequestContext::ContentCb cb;
+    EventId timeout = kInvalidEventId;
+  };
+
+  // --- Message handlers -----------------------------------------------------------
+  void HandleBeacon(const ManagerBeaconPayload& beacon);
+  void HandleClientRequest(const Message& msg);
+  void HandleTaskResponse(const Message& msg);
+  void HandleCacheReply(const Message& msg);
+  void HandleProfileReply(const Message& msg);
+  void HandleFetchResponse(const Message& msg);
+
+  // --- Request lifecycle ------------------------------------------------------------
+  void StartRequest(std::shared_ptr<const ClientRequestPayload> request, Endpoint client);
+  void FinishRequest(RequestContext* ctx, const Status& status, const ContentPtr& content,
+                     ResponseSource source, bool cache_hit);
+  RequestContext* FindContext(uint64_t request_id);
+
+  // --- Facilities used by RequestContext ---------------------------------------------
+  void DoGetProfile(RequestContext* ctx, RequestContext::ProfileCb cb);
+  void DoPutProfile(const UserProfile& profile);
+  void DoCacheGet(RequestContext* ctx, const std::string& key, RequestContext::CacheCb cb);
+  void DoCachePut(const std::string& key, ContentPtr content);
+  void DoFetch(RequestContext* ctx, const std::string& url, RequestContext::ContentCb cb);
+  void DoCallWorker(RequestContext* ctx, const std::string& type,
+                    std::map<std::string, std::string> args, std::vector<ContentPtr> inputs,
+                    RequestContext::ContentCb cb);
+  void RunPipelineStage(RequestContext* ctx, std::shared_ptr<const PipelineSpec> spec,
+                        size_t stage, ContentPtr current, std::vector<ContentPtr> first_inputs,
+                        RequestContext::ContentCb cb);
+
+  // --- Task dispatch internals ---------------------------------------------------------
+  void AttemptTask(uint64_t task_id);
+  void TaskAttemptFailed(uint64_t task_id, bool worker_dead);
+  void FailTask(uint64_t task_id, Status status);
+  void ReportWorkerDead(const Endpoint& worker, const std::string& type);
+  std::optional<Endpoint> CacheNodeForKey(const std::string& key);
+
+  // --- Housekeeping -----------------------------------------------------------------
+  void RegisterWithManager();
+  void Heartbeat();
+  void Watchdog();
+
+  SnsConfig config_;
+  FrontEndOptions options_;
+  std::shared_ptr<FrontEndLogic> logic_;
+  ComponentLauncher* launcher_;
+  Rng rng_;
+  ManagerStub stub_;
+
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<RequestContext>> contexts_;
+  std::deque<std::pair<std::shared_ptr<const ClientRequestPayload>, Endpoint>> accept_queue_;
+  int active_ = 0;
+  int peak_active_ = 0;
+
+  std::unordered_map<uint64_t, PendingTask> pending_tasks_;
+  std::unordered_map<uint64_t, PendingCacheOp> pending_cache_;
+  std::unordered_map<uint64_t, PendingProfileOp> pending_profile_;
+  std::unordered_map<uint64_t, PendingFetchOp> pending_fetch_;
+
+  std::unordered_map<std::string, UserProfile> profile_cache_;  // Write-through (§3.1.4).
+
+  std::unique_ptr<PeriodicTimer> heartbeat_timer_;
+  std::unique_ptr<PeriodicTimer> watchdog_timer_;
+
+  int64_t completed_ = 0;
+  int64_t errors_ = 0;
+  int64_t task_timeouts_ = 0;
+  int64_t task_retries_used_ = 0;
+  int64_t manager_restarts_ = 0;
+  int64_t shed_ = 0;
+  Histogram latency_hist_{0.0, 30.0, 3000};  // Seconds.
+  std::map<std::string, int64_t> responses_by_source_;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SNS_FRONT_END_H_

@@ -1,0 +1,39 @@
+// Interface through which SNS components start or restart other components.
+//
+// The paper's process-peer fault tolerance (§3.1.3) has components restart each
+// other: the manager restarts crashed front ends, front ends restart a crashed
+// manager, and the manager spawns workers on demand. The concrete launcher lives in
+// SnsSystem (src/sns/system.h), which knows each component's construction recipe.
+
+#ifndef SRC_SNS_LAUNCHER_H_
+#define SRC_SNS_LAUNCHER_H_
+
+#include <string>
+
+#include "src/cluster/process.h"
+
+namespace sns {
+
+class ComponentLauncher {
+ public:
+  virtual ~ComponentLauncher() = default;
+
+  // Spawns a worker of `type` on `node`. Returns kInvalidProcess on failure.
+  virtual ProcessId LaunchWorker(const std::string& type, NodeId node) = 0;
+
+  // Ensures a manager is running, starting one if needed (idempotent: concurrent
+  // detection by several front ends must not yield two managers).
+  virtual ProcessId RelaunchManager() = 0;
+
+  // Ensures front end `fe_index` is running, restarting it if needed.
+  virtual ProcessId RelaunchFrontEnd(int fe_index) = 0;
+
+  // Ensures the profile database is running (the paper's commercial deployments use
+  // primary/backup failover for the ACID component, §3.2; here the manager detects
+  // the silence and fails over to a fresh process recovering from the shared WAL).
+  virtual ProcessId RelaunchProfileDb() = 0;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SNS_LAUNCHER_H_

@@ -1,0 +1,340 @@
+#include "src/sns/manager.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/logging.h"
+
+namespace sns {
+
+ManagerProcess::ManagerProcess(const SnsConfig& config, ComponentLauncher* launcher)
+    : Process("manager"),
+      config_(config),
+      launcher_(launcher),
+      workers_(config.worker_ttl),
+      front_ends_(config.front_end_ttl),
+      cache_nodes_(config.worker_ttl) {}
+
+void ManagerProcess::OnStart() {
+  beacon_timer_ = std::make_unique<PeriodicTimer>(sim(), config_.manager_beacon_period,
+                                                  [this] { Beacon(); });
+  // First beacon goes out almost immediately so a restarted manager re-announces
+  // itself fast (workers re-register on hearing it, §3.1.3).
+  beacon_timer_->StartWithDelay(Milliseconds(10));
+  SNS_LOG(kInfo, "manager") << "manager started at " << endpoint().ToString();
+}
+
+void ManagerProcess::OnStop() { beacon_timer_.reset(); }
+
+void ManagerProcess::OnMessage(const Message& msg) {
+  switch (msg.type) {
+    case kMsgRegisterComponent:
+      HandleRegister(static_cast<const RegisterComponentPayload&>(*msg.payload));
+      break;
+    case kMsgLoadReport:
+      HandleLoadReport(static_cast<const LoadReportPayload&>(*msg.payload));
+      break;
+    case kMsgSpawnRequest:
+      HandleSpawnRequest(static_cast<const SpawnRequestPayload&>(*msg.payload));
+      break;
+    default:
+      break;
+  }
+}
+
+void ManagerProcess::HandleRegister(const RegisterComponentPayload& p) {
+  SimTime now = sim()->now();
+  switch (p.kind) {
+    case ComponentKind::kWorker: {
+      WorkerState state(config_.load_ewma_alpha);
+      state.worker_type = p.worker_type;
+      state.interchangeable = p.interchangeable;
+      workers_.Refresh(p.component, std::move(state), now);
+      pending_placements_.erase(p.component.node);  // The in-flight spawn landed.
+      SNS_LOG(kDebug, "manager") << "registered worker " << p.worker_type << " at "
+                                 << p.component.ToString();
+      break;
+    }
+    case ComponentKind::kCacheNode:
+      cache_nodes_.Refresh(p.component, true, now);
+      break;
+    case ComponentKind::kFrontEnd:
+      front_ends_.Refresh(p.component, FrontEndState{p.fe_index}, now);
+      break;
+    case ComponentKind::kProfileDb:
+      profile_db_ = p.component;
+      profile_db_last_seen_ = now;
+      break;
+    default:
+      break;
+  }
+}
+
+void ManagerProcess::HandleLoadReport(const LoadReportPayload& p) {
+  ++reports_received_;
+  // Aggregating an announcement costs CPU; at §4.6's 1800 announcements/s this is
+  // what bounds the manager's ultimate capacity.
+  RunOnCpu(config_.manager_cpu_per_report, [] {});
+  SimTime now = sim()->now();
+  switch (p.kind) {
+    case ComponentKind::kWorker: {
+      if (p.queue_length < 0) {
+        // A stub observed this worker dead (broken connection); drop it now rather
+        // than waiting for TTL expiry.
+        RemoveWorker(p.component);
+        if (KnownWorkerCount(p.worker_type) < static_cast<size_t>(config_.min_workers_per_type)) {
+          TrySpawn(p.worker_type, /*bypass_cooldown=*/true);
+        }
+        return;
+      }
+      WorkerState* state = workers_.GetMutable(p.component, now);
+      if (state == nullptr) {
+        // Unknown sender: treat the report as an implicit (re-)registration — this
+        // is how workers rejoin a restarted manager without explicit recovery code.
+        WorkerState fresh(config_.load_ewma_alpha);
+        fresh.worker_type = p.worker_type;
+        workers_.Refresh(p.component, std::move(fresh), now);
+        state = workers_.GetMutable(p.component, now);
+      } else {
+        workers_.Touch(p.component, now);
+      }
+      state->smoothed_queue.Add(p.queue_length);
+      state->last_reported_queue = p.queue_length;
+      break;
+    }
+    case ComponentKind::kCacheNode:
+      if (!cache_nodes_.Touch(p.component, now)) {
+        cache_nodes_.Refresh(p.component, true, now);
+      }
+      break;
+    case ComponentKind::kFrontEnd:
+      if (!front_ends_.Touch(p.component, now)) {
+        front_ends_.Refresh(p.component, FrontEndState{p.fe_index}, now);
+      }
+      break;
+    case ComponentKind::kProfileDb:
+      profile_db_ = p.component;
+      profile_db_last_seen_ = now;
+      break;
+    default:
+      break;
+  }
+}
+
+void ManagerProcess::HandleSpawnRequest(const SpawnRequestPayload& p) {
+  if (KnownWorkerCount(p.worker_type) == 0) {
+    TrySpawn(p.worker_type, /*bypass_cooldown=*/true);
+  }
+}
+
+void ManagerProcess::Beacon() {
+  ExpireSoftState();
+  RunPolicy();
+
+  auto payload = std::make_shared<ManagerBeaconPayload>();
+  payload->manager = endpoint();
+  payload->beacon_seq = ++beacon_seq_;
+  SimTime now = sim()->now();
+  workers_.ForEach(now, [&](const Endpoint& ep, const WorkerState& state) {
+    WorkerHint hint;
+    hint.endpoint = ep;
+    hint.worker_type = state.worker_type;
+    hint.smoothed_queue = state.smoothed_queue.value();
+    hint.interchangeable = state.interchangeable;
+    payload->workers.push_back(std::move(hint));
+  });
+  cache_nodes_.ForEach(now, [&](const Endpoint& ep, const bool&) {
+    payload->cache_nodes.push_back(ep);
+  });
+  payload->profile_db = profile_db_;
+
+  Message msg;
+  msg.type = kMsgManagerBeacon;
+  msg.size_bytes = WireSizeOf(*payload);
+  msg.payload = payload;
+  SendMulticast(kGroupManagerBeacon, std::move(msg));
+  ++beacons_sent_;
+}
+
+void ManagerProcess::ExpireSoftState() {
+  SimTime now = sim()->now();
+  workers_.Expire(now, [this](const Endpoint& ep, const WorkerState& state) {
+    SNS_LOG(kInfo, "manager") << "worker " << state.worker_type << " at " << ep.ToString()
+                              << " lease expired (presumed dead)";
+  });
+  front_ends_.Expire(now, [this](const Endpoint& ep, const FrontEndState& state) {
+    SNS_LOG(kWarning, "manager") << "front end " << state.fe_index << " at " << ep.ToString()
+                                 << " silent; restarting (process peer)";
+    ++fe_restarts_;
+    launcher_->RelaunchFrontEnd(state.fe_index);
+  });
+  cache_nodes_.Expire(now, nullptr);
+  // ACID-component failover: the profile DB's heartbeats stopped — start a fresh
+  // primary that recovers from the shared WAL (HotBot's Informix primary/backup
+  // role, Table 1 / §3.2).
+  if (profile_db_.valid() && profile_db_last_seen_ >= 0 &&
+      now - profile_db_last_seen_ > config_.front_end_ttl) {
+    SNS_LOG(kWarning, "manager") << "profile DB silent; failing over";
+    ++profile_db_failovers_;
+    profile_db_last_seen_ = now;  // One failover per TTL window.
+    launcher_->RelaunchProfileDb();
+  }
+}
+
+void ManagerProcess::RunPolicy() {
+  SimTime now = sim()->now();
+  // Aggregate live workers by type.
+  struct TypeLoad {
+    double total_queue = 0;
+    int count = 0;
+    std::vector<Endpoint> endpoints;
+  };
+  std::map<std::string, TypeLoad> types;
+  workers_.ForEach(now, [&](const Endpoint& ep, const WorkerState& state) {
+    TypeLoad& load = types[state.worker_type];
+    load.total_queue += state.smoothed_queue.value();
+    ++load.count;
+    load.endpoints.push_back(ep);
+  });
+
+  for (auto& [type, load] : types) {
+    double avg = load.count > 0 ? load.total_queue / load.count : 0.0;
+    // --- Spawn: average queue crossed threshold H (paper §4.5). ---
+    if (avg > config_.spawn_threshold_h) {
+      low_load_since_.erase(type);
+      TrySpawn(type, /*bypass_cooldown=*/false);
+      continue;
+    }
+    // --- Reap: sustained low load and more than the minimum population. ---
+    if (avg < config_.reap_threshold && load.count > config_.min_workers_per_type) {
+      auto it = low_load_since_.find(type);
+      if (it == low_load_since_.end()) {
+        low_load_since_[type] = now;
+      } else if (now - it->second >= config_.reap_idle_time) {
+        // Reap one overflow-node worker; dedicated workers stay (the overflow pool
+        // is released as bursts subside, §2.2.3).
+        for (const Endpoint& ep : load.endpoints) {
+          if (cluster()->IsOverflowNode(ep.node)) {
+            Process* victim = cluster()->FindByEndpoint(ep);
+            if (victim != nullptr) {
+              SNS_LOG(kInfo, "manager") << "reaping overflow worker " << type << " at "
+                                        << ep.ToString();
+              ++reaps_initiated_;
+              RemoveWorker(ep);
+              cluster()->Stop(victim->pid());
+              it->second = now;  // One reap per idle interval.
+              break;
+            }
+          }
+        }
+      }
+    } else {
+      low_load_since_.erase(type);
+    }
+  }
+}
+
+bool ManagerProcess::TrySpawn(const std::string& type, bool bypass_cooldown) {
+  SimTime now = sim()->now();
+  auto it = last_spawn_.find(type);
+  SimDuration guard = bypass_cooldown ? Seconds(1) : config_.spawn_cooldown_d;
+  if (it != last_spawn_.end() && now - it->second < guard) {
+    return false;
+  }
+  NodeId node = PickNodeForWorker(type);
+  if (node == kInvalidNode) {
+    SNS_LOG(kWarning, "manager") << "no node available to spawn " << type;
+    return false;
+  }
+  last_spawn_[type] = now;
+  pending_placements_[node] = now + config_.worker_ttl;
+  ++spawns_initiated_;
+  SNS_LOG(kInfo, "manager") << "spawning " << type << " on node " << node
+                            << (cluster()->IsOverflowNode(node) ? " (overflow)" : "");
+  launcher_->LaunchWorker(type, node);
+  return true;
+}
+
+NodeId ManagerProcess::PickNodeForWorker(const std::string& type) {
+  (void)type;
+  SimTime now = sim()->now();
+  // Nodes hosting infrastructure components are not eligible for workers (FEs and
+  // caches are bound to their nodes, Table 1).
+  std::set<NodeId> reserved;
+  reserved.insert(node());  // The manager's own node.
+  front_ends_.ForEach(now, [&](const Endpoint& ep, const FrontEndState&) {
+    reserved.insert(ep.node);
+  });
+  cache_nodes_.ForEach(now, [&](const Endpoint& ep, const bool&) { reserved.insert(ep.node); });
+  if (profile_db_.valid()) {
+    reserved.insert(profile_db_.node);
+  }
+  std::map<NodeId, int> worker_count;
+  workers_.ForEach(now, [&](const Endpoint& ep, const WorkerState&) { ++worker_count[ep.node]; });
+  // Spawns still in flight count against their target node.
+  for (auto it = pending_placements_.begin(); it != pending_placements_.end();) {
+    if (it->second <= now) {
+      it = pending_placements_.erase(it);
+    } else {
+      ++worker_count[it->first];
+      ++it;
+    }
+  }
+
+  auto pick_from = [&](const std::vector<NodeId>& nodes, bool overflow) -> NodeId {
+    NodeId best = kInvalidNode;
+    int best_count = config_.max_workers_per_node;
+    for (NodeId candidate : nodes) {
+      if (cluster()->IsOverflowNode(candidate) != overflow || reserved.count(candidate) > 0 ||
+          !cluster()->WorkersAllowed(candidate)) {
+        continue;
+      }
+      int count = 0;
+      auto it = worker_count.find(candidate);
+      if (it != worker_count.end()) {
+        count = it->second;
+      }
+      if (count < best_count) {
+        best_count = count;
+        best = candidate;
+      }
+    }
+    return best;
+  };
+
+  std::vector<NodeId> all = cluster()->UpNodes(/*include_overflow=*/true);
+  NodeId dedicated = pick_from(all, /*overflow=*/false);
+  if (dedicated != kInvalidNode) {
+    return dedicated;
+  }
+  // Dedicated pool exhausted: recruit the overflow pool (§2.2.3).
+  return pick_from(all, /*overflow=*/true);
+}
+
+void ManagerProcess::RemoveWorker(const Endpoint& ep) { workers_.Erase(ep); }
+
+size_t ManagerProcess::KnownWorkerCount() const { return workers_.LiveCount(sim()->now()); }
+
+size_t ManagerProcess::KnownWorkerCount(const std::string& type) const {
+  size_t count = 0;
+  workers_.ForEach(sim()->now(), [&](const Endpoint&, const WorkerState& state) {
+    if (state.worker_type == type) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+double ManagerProcess::SmoothedQueue(const std::string& type) const {
+  double total = 0;
+  int count = 0;
+  workers_.ForEach(sim()->now(), [&](const Endpoint&, const WorkerState& state) {
+    if (state.worker_type == type) {
+      total += state.smoothed_queue.value();
+      ++count;
+    }
+  });
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace sns

@@ -1,0 +1,112 @@
+// The centralized, fault-tolerant load-balancing manager (paper §2.2.2, §3.1.2).
+//
+// Responsibilities, from the paper:
+//   - "tracking the location of distillers" — soft-state tables refreshed by load
+//     reports, expired by TTL (no crash-recovery code needed, §3.1.3).
+//   - "balancing load across distillers": aggregates queue-length reports into
+//     weighted moving averages and piggybacks them on its periodic multicast
+//     beacons; front ends make local decisions from these hints.
+//   - "spawning new distillers on demand": when a type's average queue crosses
+//     threshold H, spawn on a fresh node; disable spawning for D seconds to let the
+//     system stabilize (§4.5). Recruit overflow nodes when dedicated ones run out
+//     (§2.2.3), and reap overflow workers when the burst subsides.
+//   - process-peer duties: restart crashed front ends.
+//
+// All manager state is soft: if the manager crashes and restarts, workers re-register
+// upon seeing beacons from the new incarnation, and front ends keep operating on
+// slightly stale cached hints in the meantime (§3.1.8).
+
+#ifndef SRC_SNS_MANAGER_H_
+#define SRC_SNS_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/sim/timer.h"
+#include "src/sns/config.h"
+#include "src/sns/launcher.h"
+#include "src/sns/messages.h"
+#include "src/store/soft_state.h"
+#include "src/util/stats.h"
+
+namespace sns {
+
+class ManagerProcess : public Process {
+ public:
+  ManagerProcess(const SnsConfig& config, ComponentLauncher* launcher);
+
+  void OnStart() override;
+  void OnStop() override;
+  void OnMessage(const Message& msg) override;
+
+  // --- Observability -----------------------------------------------------------------
+  int64_t beacons_sent() const { return beacons_sent_; }
+  int64_t reports_received() const { return reports_received_; }
+  int64_t spawns_initiated() const { return spawns_initiated_; }
+  int64_t reaps_initiated() const { return reaps_initiated_; }
+  int64_t fe_restarts() const { return fe_restarts_; }
+  int64_t profile_db_failovers() const { return profile_db_failovers_; }
+  size_t KnownWorkerCount() const;
+  size_t KnownWorkerCount(const std::string& type) const;
+  // Current smoothed queue average across workers of `type` (the spawn metric).
+  double SmoothedQueue(const std::string& type) const;
+
+ private:
+  struct WorkerState {
+    std::string worker_type;
+    bool interchangeable = true;
+    Ewma smoothed_queue;
+    double last_reported_queue = 0;
+    WorkerState() : smoothed_queue(0.3) {}
+    explicit WorkerState(double alpha) : smoothed_queue(alpha) {}
+  };
+
+  struct FrontEndState {
+    int fe_index = -1;
+  };
+
+  void HandleRegister(const RegisterComponentPayload& p);
+  void HandleLoadReport(const LoadReportPayload& p);
+  void HandleSpawnRequest(const SpawnRequestPayload& p);
+
+  void Beacon();
+  void RunPolicy();                 // Spawn / reap decisions, each beacon tick.
+  void ExpireSoftState();
+  bool TrySpawn(const std::string& type, bool bypass_cooldown);
+  // Node selection: least-loaded eligible dedicated node, then overflow pool.
+  NodeId PickNodeForWorker(const std::string& type);
+  void RemoveWorker(const Endpoint& ep);
+
+  SnsConfig config_;
+  ComponentLauncher* launcher_;
+
+  SoftStateTable<Endpoint, WorkerState, EndpointHash> workers_;
+  SoftStateTable<Endpoint, FrontEndState, EndpointHash> front_ends_;
+  SoftStateTable<Endpoint, bool, EndpointHash> cache_nodes_;
+  Endpoint profile_db_;
+  SimTime profile_db_last_seen_ = -1;
+
+  std::map<std::string, SimTime> last_spawn_;        // Cooldown D per worker type.
+  std::map<std::string, SimTime> low_load_since_;    // Reap tracking per type.
+  // Nodes with a spawn in flight (launched but not yet registered), so two spawns
+  // in the same beacon tick don't pile onto one node. Entries expire with the
+  // worker TTL.
+  std::map<NodeId, SimTime> pending_placements_;
+
+  std::unique_ptr<PeriodicTimer> beacon_timer_;
+  uint64_t beacon_seq_ = 0;
+
+  int64_t beacons_sent_ = 0;
+  int64_t reports_received_ = 0;
+  int64_t spawns_initiated_ = 0;
+  int64_t reaps_initiated_ = 0;
+  int64_t fe_restarts_ = 0;
+  int64_t profile_db_failovers_ = 0;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SNS_MANAGER_H_

@@ -1,0 +1,128 @@
+#include "src/sns/manager_stub.h"
+
+#include <algorithm>
+
+namespace sns {
+
+void ManagerStub::OnBeacon(const ManagerBeaconPayload& beacon, SimTime now) {
+  manager_ = beacon.manager;
+  last_beacon_ = now;
+  ++beacons_seen_;
+
+  // Rebuild the worker view from the hints, preserving estimator state and
+  // in-flight counts for workers that persist across beacons.
+  std::unordered_map<Endpoint, WorkerView, EndpointHash> next;
+  for (const WorkerHint& hint : beacon.workers) {
+    WorkerView view;
+    auto it = workers_.find(hint.endpoint);
+    if (it != workers_.end()) {
+      view = std::move(it->second);
+    }
+    view.type = hint.worker_type;
+    view.hint_queue = hint.smoothed_queue;
+    view.estimator.Observe(hint.smoothed_queue, ToSeconds(now));
+    next[hint.endpoint] = std::move(view);
+  }
+  workers_ = std::move(next);
+
+  cache_nodes_ = beacon.cache_nodes;
+  std::sort(cache_nodes_.begin(), cache_nodes_.end(), [](const Endpoint& a, const Endpoint& b) {
+    return a.node != b.node ? a.node < b.node : a.port < b.port;
+  });
+  profile_db_ = beacon.profile_db;
+}
+
+double ManagerStub::PredictedQueue(const Endpoint& worker, SimTime now) const {
+  auto it = workers_.find(worker);
+  if (it == workers_.end()) {
+    return 0.0;
+  }
+  const WorkerView& view = it->second;
+  double queue = config_.use_delta_estimation ? view.estimator.Predict(ToSeconds(now))
+                                              : view.hint_queue;
+  if (config_.track_inflight_tasks) {
+    queue += view.inflight;
+  }
+  return std::max(queue, 0.0);
+}
+
+std::optional<Endpoint> ManagerStub::PickWorker(const std::string& type, SimTime now) {
+  std::vector<Endpoint> candidates;
+  std::vector<double> weights;
+  for (const auto& [ep, view] : workers_) {
+    if (view.type == type) {
+      candidates.push_back(ep);
+      double queue = PredictedQueue(ep, now);
+      // Lottery tickets inversely proportional to predicted queue depth.
+      weights.push_back(1.0 / (1.0 + queue));
+    }
+  }
+  if (candidates.empty()) {
+    return std::nullopt;
+  }
+  switch (config_.balance_policy) {
+    case BalancePolicy::kLottery:
+      return candidates[rng_->WeightedIndex(weights)];
+    case BalancePolicy::kRandom:
+      return candidates[static_cast<size_t>(
+          rng_->UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+    case BalancePolicy::kRoundRobin:
+      return candidates[round_robin_++ % candidates.size()];
+  }
+  return candidates[0];
+}
+
+void ManagerStub::NoteTaskSent(const Endpoint& worker) {
+  auto it = workers_.find(worker);
+  if (it != workers_.end()) {
+    ++it->second.inflight;
+  }
+}
+
+void ManagerStub::NoteTaskDone(const Endpoint& worker) {
+  auto it = workers_.find(worker);
+  if (it != workers_.end() && it->second.inflight > 0) {
+    --it->second.inflight;
+  }
+}
+
+bool ManagerStub::NoteWorkerDead(const Endpoint& worker) {
+  return workers_.erase(worker) > 0;
+}
+
+SimDuration ManagerStub::BeaconSilence(SimTime now) const {
+  if (last_beacon_ < 0) {
+    return kTimeNever;
+  }
+  return now - last_beacon_;
+}
+
+bool ManagerStub::ManagerSuspectedDead(SimTime now) const {
+  SimDuration silence = BeaconSilence(now);
+  return silence != kTimeNever && silence > config_.manager_silence_restart;
+}
+
+size_t ManagerStub::KnownWorkerCount(const std::string& type) const {
+  size_t count = 0;
+  for (const auto& [ep, view] : workers_) {
+    if (view.type == type) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<Endpoint> ManagerStub::WorkersOfType(const std::string& type) const {
+  std::vector<Endpoint> out;
+  for (const auto& [ep, view] : workers_) {
+    if (view.type == type) {
+      out.push_back(ep);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Endpoint& a, const Endpoint& b) {
+    return a.node != b.node ? a.node < b.node : a.port < b.port;
+  });
+  return out;
+}
+
+}  // namespace sns

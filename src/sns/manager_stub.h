@@ -1,0 +1,90 @@
+// The manager stub, linked into each front end (paper §2.2.5, §3.1.2).
+//
+// Caches the load-balancing hints piggybacked on manager beacons and picks a worker
+// for each task with lottery scheduling [Waldspurger & Weihl, OSDI'94] weighted by
+// predicted queue length. Because the hints are slightly stale between beacons
+// (BASE!), the stub:
+//   - keeps a running estimate of each worker's queue-length delta between
+//     successive reports and extrapolates — the fix that eliminated the load
+//     oscillations of §4.5;
+//   - optimistically counts its own in-flight tasks against a worker's queue;
+//   - uses timeouts and broken-connection signals to recover from choices based on
+//     stale data (§3.1.8), reporting observed-dead workers back to the manager.
+//
+// The stub also tracks manager liveness: if beacons stop for too long, the front
+// end (a process peer) restarts the manager.
+
+#ifndef SRC_SNS_MANAGER_STUB_H_
+#define SRC_SNS_MANAGER_STUB_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sns/config.h"
+#include "src/sns/messages.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/time.h"
+
+namespace sns {
+
+class ManagerStub {
+ public:
+  ManagerStub(const SnsConfig& config, Rng* rng) : config_(config), rng_(rng) {}
+
+  // Feed a received beacon into the cache.
+  void OnBeacon(const ManagerBeaconPayload& beacon, SimTime now);
+
+  // Lottery-schedules a worker of `type`; nullopt if none is known alive.
+  std::optional<Endpoint> PickWorker(const std::string& type, SimTime now);
+
+  // In-flight bookkeeping (kept even when hints are stale).
+  void NoteTaskSent(const Endpoint& worker);
+  void NoteTaskDone(const Endpoint& worker);
+
+  // A reliable send to `worker` failed fast or timed out: drop it from the local
+  // cache immediately. Returns true if it was present.
+  bool NoteWorkerDead(const Endpoint& worker);
+
+  bool ManagerKnown() const { return manager_.valid(); }
+  const Endpoint& manager() const { return manager_; }
+  // Time since the last beacon; kTimeNever if none ever received.
+  SimDuration BeaconSilence(SimTime now) const;
+  bool ManagerSuspectedDead(SimTime now) const;
+
+  const std::vector<Endpoint>& cache_nodes() const { return cache_nodes_; }
+  const Endpoint& profile_db() const { return profile_db_; }
+
+  size_t KnownWorkerCount(const std::string& type) const;
+  std::vector<Endpoint> WorkersOfType(const std::string& type) const;
+  // Predicted queue length of a worker right now (hint + delta extrapolation +
+  // in-flight adjustment), as used for the lottery weights.
+  double PredictedQueue(const Endpoint& worker, SimTime now) const;
+
+  uint64_t beacons_seen() const { return beacons_seen_; }
+
+ private:
+  struct WorkerView {
+    std::string type;
+    double hint_queue = 0;
+    DeltaEstimator estimator;
+    int inflight = 0;
+  };
+
+  SnsConfig config_;
+  Rng* rng_;
+  size_t round_robin_ = 0;
+  Endpoint manager_;
+  SimTime last_beacon_ = -1;
+  uint64_t beacons_seen_ = 0;
+  std::unordered_map<Endpoint, WorkerView, EndpointHash> workers_;
+  std::vector<Endpoint> cache_nodes_;
+  Endpoint profile_db_;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SNS_MANAGER_STUB_H_

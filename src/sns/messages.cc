@@ -1,0 +1,94 @@
+#include "src/sns/messages.h"
+
+namespace sns {
+
+const char* ComponentKindName(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kManager:
+      return "manager";
+    case ComponentKind::kFrontEnd:
+      return "front-end";
+    case ComponentKind::kWorker:
+      return "worker";
+    case ComponentKind::kCacheNode:
+      return "cache";
+    case ComponentKind::kProfileDb:
+      return "profile-db";
+    case ComponentKind::kMonitor:
+      return "monitor";
+    case ComponentKind::kOrigin:
+      return "origin";
+    case ComponentKind::kClient:
+      return "client";
+  }
+  return "unknown";
+}
+
+const char* ResponseSourceName(ResponseSource source) {
+  switch (source) {
+    case ResponseSource::kDistilled:
+      return "distilled";
+    case ResponseSource::kCacheOriginal:
+      return "original";
+    case ResponseSource::kCacheApproximate:
+      return "approximate";
+    case ResponseSource::kPassThrough:
+      return "pass-through";
+    case ResponseSource::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int64_t ContentBytes(const ContentPtr& c) { return c == nullptr ? 0 : c->size(); }
+
+int64_t MapBytes(const std::map<std::string, std::string>& m) {
+  int64_t total = 0;
+  for (const auto& [k, v] : m) {
+    total += static_cast<int64_t>(k.size() + v.size()) + 8;
+  }
+  return total;
+}
+
+}  // namespace
+
+int64_t WireSizeOf(const ClientRequestPayload& p) {
+  return 96 + static_cast<int64_t>(p.url.size() + p.user_id.size()) + MapBytes(p.params);
+}
+
+int64_t WireSizeOf(const ClientResponsePayload& p) { return 128 + ContentBytes(p.content); }
+
+int64_t WireSizeOf(const TaskRequestPayload& p) {
+  int64_t total = 128 + static_cast<int64_t>(p.url.size()) + MapBytes(p.args) +
+                  p.profile.WireSize();
+  for (const ContentPtr& c : p.inputs) {
+    total += ContentBytes(c);
+  }
+  return total;
+}
+
+int64_t WireSizeOf(const TaskResponsePayload& p) { return 96 + ContentBytes(p.output); }
+
+int64_t WireSizeOf(const ManagerBeaconPayload& p) {
+  // Each hint: endpoint + type + load (the paper's piggybacked load announcements).
+  int64_t total = 64;
+  for (const WorkerHint& hint : p.workers) {
+    total += 24 + static_cast<int64_t>(hint.worker_type.size());
+  }
+  total += static_cast<int64_t>(p.cache_nodes.size()) * 12;
+  return total;
+}
+
+int64_t WireSizeOf(const CacheGetPayload& p) {
+  return 64 + static_cast<int64_t>(p.key.size());
+}
+
+int64_t WireSizeOf(const CachePutPayload& p) {
+  return 64 + static_cast<int64_t>(p.key.size()) + ContentBytes(p.content);
+}
+
+int64_t WireSizeOf(const CacheReplyPayload& p) { return 64 + ContentBytes(p.content); }
+
+}  // namespace sns

@@ -1,0 +1,220 @@
+// Wire messages exchanged by SNS components.
+//
+// The protocol follows Figure 1 of the paper: front ends talk to workers through
+// manager stubs / worker stubs, the manager beacons its existence and load hints on
+// a well-known multicast channel (§3.1.2), components report to the monitor on
+// another, and everything else is point-to-point.
+
+#ifndef SRC_SNS_MESSAGES_H_
+#define SRC_SNS_MESSAGES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/content/content.h"
+#include "src/net/message.h"
+#include "src/tacc/profile.h"
+#include "src/util/status.h"
+
+namespace sns {
+
+// Well-known multicast groups.
+constexpr McastGroup kGroupManagerBeacon = 1;  // Manager -> stubs & workers & monitor.
+constexpr McastGroup kGroupMonitor = 2;        // Components -> monitor(s).
+
+// Message type discriminators (Message::type).
+enum SnsMsgType : uint32_t {
+  kMsgClientRequest = 1,
+  kMsgClientResponse,
+  kMsgRegisterComponent,
+  kMsgLoadReport,
+  kMsgManagerBeacon,
+  kMsgSpawnRequest,
+  kMsgTaskRequest,
+  kMsgTaskResponse,
+  kMsgCacheGet,
+  kMsgCachePut,
+  kMsgCacheReply,
+  kMsgProfileGet,
+  kMsgProfilePut,
+  kMsgProfileReply,
+  kMsgFetchRequest,
+  kMsgFetchResponse,
+  kMsgMonitorReport,
+};
+
+enum class ComponentKind {
+  kManager,
+  kFrontEnd,
+  kWorker,
+  kCacheNode,
+  kProfileDb,
+  kMonitor,
+  kOrigin,
+  kClient,
+};
+
+const char* ComponentKindName(ComponentKind kind);
+
+// --- Client <-> front end ------------------------------------------------------------
+
+struct ClientRequestPayload : Payload {
+  uint64_t client_request_id = 0;
+  std::string url;
+  std::string user_id;
+  // Extra service inputs (e.g., metasearch query string).
+  std::map<std::string, std::string> params;
+};
+
+// How the response was produced — used to assert BASE "approximate answer"
+// behavior (§3.1.8) in tests and to report degraded service.
+enum class ResponseSource {
+  kDistilled,        // The requested representation.
+  kCacheOriginal,    // Original content (distillation skipped or below threshold).
+  kCacheApproximate, // A different distilled variant served under load/failure.
+  kPassThrough,      // No distiller exists for this type.
+  kError,
+};
+
+const char* ResponseSourceName(ResponseSource source);
+
+struct ClientResponsePayload : Payload {
+  uint64_t client_request_id = 0;
+  Status status;
+  ContentPtr content;
+  ResponseSource source = ResponseSource::kDistilled;
+  bool cache_hit = false;
+};
+
+// --- Registration & load (worker stub / manager stub <-> manager) ---------------------
+
+struct RegisterComponentPayload : Payload {
+  ComponentKind kind = ComponentKind::kWorker;
+  std::string worker_type;  // For kWorker: the TACC class. For others: role label.
+  Endpoint component;       // Where the component receives traffic.
+  bool interchangeable = true;
+  int fe_index = -1;        // For front ends: identity used for peer restart.
+};
+
+struct LoadReportPayload : Payload {
+  ComponentKind kind = ComponentKind::kWorker;
+  std::string worker_type;
+  Endpoint component;
+  double queue_length = 0;       // Paper footnote 2: queue length, optionally weighted.
+  int64_t completed_tasks = 0;   // Cumulative, for throughput accounting.
+  int fe_index = -1;
+};
+
+// One worker's entry in the manager's beaconed load hints.
+struct WorkerHint {
+  Endpoint endpoint;
+  std::string worker_type;
+  double smoothed_queue = 0;     // Manager-side weighted moving average.
+  bool interchangeable = true;
+};
+
+struct ManagerBeaconPayload : Payload {
+  Endpoint manager;
+  uint64_t beacon_seq = 0;
+  std::vector<WorkerHint> workers;
+  std::vector<Endpoint> cache_nodes;
+  Endpoint profile_db;  // Invalid if none registered.
+};
+
+// Stub -> manager: no live worker of this type is known; please spawn one.
+struct SpawnRequestPayload : Payload {
+  std::string worker_type;
+};
+
+// --- Task execution (front end <-> worker stub) ---------------------------------------
+
+struct TaskRequestPayload : Payload {
+  uint64_t task_id = 0;
+  std::string url;
+  std::vector<ContentPtr> inputs;
+  UserProfile profile;
+  std::map<std::string, std::string> args;
+  Endpoint reply_to;
+};
+
+struct TaskResponsePayload : Payload {
+  uint64_t task_id = 0;
+  Status status;
+  ContentPtr output;
+  std::string worker_type;
+};
+
+// --- Cache protocol --------------------------------------------------------------------
+
+struct CacheGetPayload : Payload {
+  uint64_t op_id = 0;
+  std::string key;
+  Endpoint reply_to;
+};
+
+struct CachePutPayload : Payload {
+  std::string key;
+  ContentPtr content;
+};
+
+struct CacheReplyPayload : Payload {
+  uint64_t op_id = 0;
+  bool hit = false;
+  ContentPtr content;
+};
+
+// --- Profile database (ACID) -------------------------------------------------------------
+
+struct ProfileGetPayload : Payload {
+  uint64_t op_id = 0;
+  std::string user_id;
+  Endpoint reply_to;
+};
+
+struct ProfilePutPayload : Payload {
+  UserProfile profile;
+};
+
+struct ProfileReplyPayload : Payload {
+  uint64_t op_id = 0;
+  bool found = false;
+  UserProfile profile;
+};
+
+// --- Origin ("the Internet") ---------------------------------------------------------------
+
+struct FetchRequestPayload : Payload {
+  uint64_t op_id = 0;
+  std::string url;
+  Endpoint reply_to;
+};
+
+struct FetchResponsePayload : Payload {
+  uint64_t op_id = 0;
+  Status status;
+  ContentPtr content;
+};
+
+// --- Monitor -------------------------------------------------------------------------------
+
+struct MonitorReportPayload : Payload {
+  ComponentKind kind = ComponentKind::kWorker;
+  std::string name;
+  Endpoint component;
+  std::map<std::string, double> metrics;
+};
+
+// Approximate wire sizes (bytes) used to drive SAN serialization delays.
+int64_t WireSizeOf(const ClientRequestPayload& p);
+int64_t WireSizeOf(const ClientResponsePayload& p);
+int64_t WireSizeOf(const TaskRequestPayload& p);
+int64_t WireSizeOf(const TaskResponsePayload& p);
+int64_t WireSizeOf(const ManagerBeaconPayload& p);
+int64_t WireSizeOf(const CacheGetPayload& p);
+int64_t WireSizeOf(const CachePutPayload& p);
+int64_t WireSizeOf(const CacheReplyPayload& p);
+
+}  // namespace sns
+
+#endif  // SRC_SNS_MESSAGES_H_

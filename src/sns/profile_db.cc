@@ -1,0 +1,106 @@
+#include "src/sns/profile_db.h"
+
+#include "src/util/logging.h"
+
+namespace sns {
+
+ProfileDbProcess::ProfileDbProcess(const ProfileDbConfig& config, KvStore* store)
+    : Process("profile-db"), config_(config), store_(store) {}
+
+void ProfileDbProcess::OnStart() {
+  JoinGroup(kGroupManagerBeacon);
+  // ACID recovery: replay the WAL from "disk" before serving (§3.1.3 contrasts this
+  // with the soft-state components, which need no such step).
+  auto recovered = store_->Recover();
+  if (recovered.ok()) {
+    SNS_LOG(kInfo, "profile-db") << "recovered " << *recovered << " WAL records";
+  }
+  heartbeat_timer_ =
+      std::make_unique<PeriodicTimer>(sim(), Seconds(1), [this] { Heartbeat(); });
+  heartbeat_timer_->StartWithDelay(Milliseconds(123.0));
+}
+
+void ProfileDbProcess::OnStop() {
+  heartbeat_timer_.reset();
+  LeaveGroup(kGroupManagerBeacon);
+}
+
+void ProfileDbProcess::Heartbeat() {
+  if (!manager_.valid()) {
+    return;
+  }
+  auto payload = std::make_shared<LoadReportPayload>();
+  payload->kind = ComponentKind::kProfileDb;
+  payload->component = endpoint();
+  Message msg;
+  msg.dst = manager_;
+  msg.type = kMsgLoadReport;
+  msg.transport = Transport::kDatagram;
+  msg.size_bytes = 80;
+  msg.payload = payload;
+  Send(std::move(msg));
+}
+
+void ProfileDbProcess::OnMessage(const Message& msg) {
+  switch (msg.type) {
+    case kMsgManagerBeacon: {
+      const auto& beacon = static_cast<const ManagerBeaconPayload&>(*msg.payload);
+      if (beacon.manager != manager_) {
+        manager_ = beacon.manager;
+        auto payload = std::make_shared<RegisterComponentPayload>();
+        payload->kind = ComponentKind::kProfileDb;
+        payload->component = endpoint();
+        Message out;
+        out.dst = manager_;
+        out.type = kMsgRegisterComponent;
+        out.transport = Transport::kReliable;
+        out.size_bytes = 96;
+        out.payload = payload;
+        Send(std::move(out));
+      }
+      break;
+    }
+    case kMsgProfileGet:
+      HandleGet(msg);
+      break;
+    case kMsgProfilePut:
+      HandlePut(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void ProfileDbProcess::HandleGet(const Message& msg) {
+  auto get = std::static_pointer_cast<const ProfileGetPayload>(msg.payload);
+  RunOnCpu(config_.read_latency, [this, get] {
+    ++reads_;
+    auto reply = std::make_shared<ProfileReplyPayload>();
+    reply->op_id = get->op_id;
+    auto record = store_->Get(get->user_id);
+    if (record.has_value()) {
+      auto profile = UserProfile::Deserialize(get->user_id, *record);
+      if (profile.ok()) {
+        reply->found = true;
+        reply->profile = *profile;
+      }
+    }
+    Message out;
+    out.dst = get->reply_to;
+    out.type = kMsgProfileReply;
+    out.transport = Transport::kReliable;
+    out.size_bytes = 64 + reply->profile.WireSize();
+    out.payload = reply;
+    Send(std::move(out));
+  });
+}
+
+void ProfileDbProcess::HandlePut(const Message& msg) {
+  auto put = std::static_pointer_cast<const ProfilePutPayload>(msg.payload);
+  RunOnCpu(config_.commit_latency, [this, put] {
+    ++writes_;
+    store_->Put(put->profile.user_id(), put->profile.Serialize());
+  });
+}
+
+}  // namespace sns

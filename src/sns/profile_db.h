@@ -1,0 +1,54 @@
+// The user-profile database process: the deliberately ACID component (§3.1.4).
+//
+// TranSend used gdbm; "user preference reads are much more frequent than writes,
+// and the reads are absorbed by a write-through cache in the front end." Writes pay
+// a WAL commit (fsync) latency; the store survives process crashes by log replay.
+
+#ifndef SRC_SNS_PROFILE_DB_H_
+#define SRC_SNS_PROFILE_DB_H_
+
+#include <memory>
+
+#include "src/cluster/process.h"
+#include "src/sim/timer.h"
+#include "src/sns/config.h"
+#include "src/sns/messages.h"
+#include "src/store/kvstore.h"
+#include "src/tacc/profile.h"
+
+namespace sns {
+
+struct ProfileDbConfig {
+  SimDuration read_latency = Microseconds(400);   // Index lookup, page cached.
+  SimDuration commit_latency = Milliseconds(6);   // WAL append + fsync.
+};
+
+class ProfileDbProcess : public Process {
+ public:
+  // The KvStore outlives the process (it is the "disk"): on a crash+respawn the new
+  // incarnation recovers from the same store's WAL.
+  ProfileDbProcess(const ProfileDbConfig& config, KvStore* store);
+
+  void OnStart() override;
+  void OnStop() override;
+  void OnMessage(const Message& msg) override;
+
+  int64_t reads() const { return reads_; }
+  int64_t writes() const { return writes_; }
+
+ private:
+  void HandleGet(const Message& msg);
+  void HandlePut(const Message& msg);
+  void Heartbeat();
+
+  ProfileDbConfig config_;
+  KvStore* store_;
+  Endpoint manager_;
+  std::unique_ptr<PeriodicTimer> heartbeat_timer_;
+  int64_t reads_ = 0;
+  int64_t writes_ = 0;
+};
+
+}  // namespace sns
+
+#endif  // SRC_SNS_PROFILE_DB_H_

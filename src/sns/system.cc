@@ -1,0 +1,289 @@
+#include "src/sns/system.h"
+
+#include "src/util/logging.h"
+
+namespace sns {
+
+SnsSystem::SnsSystem(const SnsConfig& config, const SystemTopology& topology)
+    : config_(config), topology_(topology), san_(&sim_, topology.san), cluster_(&sim_, &san_) {}
+
+SnsSystem::~SnsSystem() = default;
+
+void SnsSystem::SeedProfile(const UserProfile& profile) {
+  profile_store_.Put(profile.user_id(), profile.Serialize());
+}
+
+void SnsSystem::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+
+  // --- Node layout (one component class per node, Figure 1). ---
+  NodeConfig infra;
+  infra.workers_allowed = false;
+  manager_node_ = cluster_.AddNode(infra);
+
+  for (int i = 0; i < topology_.front_ends; ++i) {
+    NodeConfig fe = infra;
+    fe.link = topology_.fe_link;
+    fe_nodes_.push_back(cluster_.AddNode(fe));
+  }
+  for (int i = 0; i < topology_.cache_nodes; ++i) {
+    cache_nodes_.push_back(cluster_.AddNode(infra));
+  }
+  if (topology_.with_profile_db) {
+    profile_db_node_ = cluster_.AddNode(infra);
+  }
+  if (topology_.with_origin) {
+    NodeConfig origin = infra;
+    origin.link = topology_.origin_link;
+    origin_node_ = cluster_.AddNode(origin);
+  }
+  worker_pool_ = cluster_.AddNodes(topology_.worker_pool_nodes, NodeConfig{});
+  NodeConfig overflow;
+  overflow.overflow_pool = true;
+  overflow_pool_ = cluster_.AddNodes(topology_.overflow_nodes, overflow);
+
+  // --- Spawn the infrastructure processes. ---
+  manager_pid_ =
+      cluster_.Spawn(manager_node_, std::make_unique<ManagerProcess>(config_, this));
+  for (int i = 0; i < topology_.cache_nodes; ++i) {
+    cache_pids_.push_back(cluster_.Spawn(
+        cache_nodes_[static_cast<size_t>(i)],
+        std::make_unique<CacheNodeProcess>(config_, topology_.cache)));
+  }
+  if (topology_.with_profile_db) {
+    profile_db_pid_ = cluster_.Spawn(
+        profile_db_node_,
+        std::make_unique<ProfileDbProcess>(topology_.profile_db, &profile_store_));
+  }
+  if (topology_.with_monitor) {
+    monitor_pid_ =
+        cluster_.Spawn(manager_node_, std::make_unique<MonitorProcess>(config_, this));
+  }
+  // The origin must exist before any front end so FEs are constructed with a valid
+  // gateway endpoint.
+  if (topology_.with_origin && origin_factory_) {
+    auto origin = origin_factory_();
+    Process* raw = origin.get();
+    origin_pid_ = cluster_.Spawn(origin_node_, std::move(origin));
+    if (origin_pid_ != kInvalidProcess) {
+      origin_endpoint_ = raw->endpoint();
+    }
+  }
+  for (int i = 0; i < topology_.front_ends; ++i) {
+    fe_pids_.push_back(kInvalidProcess);
+    RelaunchFrontEnd(i);
+  }
+}
+
+ProcessId SnsSystem::StartWorker(const std::string& type) {
+  // Mirror the manager's placement: any worker-allowed node with spare slots.
+  for (NodeId node : worker_pool_) {
+    if (cluster_.NodeUp(node) && cluster_.ProcessCountOnNode(node) == 0) {
+      return LaunchWorker(type, node);
+    }
+  }
+  for (NodeId node : worker_pool_) {
+    if (cluster_.NodeUp(node)) {
+      return LaunchWorker(type, node);
+    }
+  }
+  return kInvalidProcess;
+}
+
+int SnsSystem::AddFrontEnd() {
+  NodeConfig fe;
+  fe.workers_allowed = false;
+  fe.link = topology_.fe_link;
+  fe_nodes_.push_back(cluster_.AddNode(fe));
+  fe_pids_.push_back(kInvalidProcess);
+  int fe_index = static_cast<int>(fe_pids_.size()) - 1;
+  RelaunchFrontEnd(fe_index);
+  return fe_index;
+}
+
+ProcessId SnsSystem::LaunchWorker(const std::string& type, NodeId node) {
+  TaccWorkerPtr worker = registry_.Create(type);
+  if (worker == nullptr) {
+    SNS_LOG(kError, "system") << "no factory registered for worker type " << type;
+    return kInvalidProcess;
+  }
+  return cluster_.Spawn(node, std::make_unique<WorkerProcess>(config_, std::move(worker)));
+}
+
+ProcessId SnsSystem::RelaunchManager() {
+  if (manager_pid_ != kInvalidProcess && cluster_.Find(manager_pid_) != nullptr) {
+    return manager_pid_;  // Already running: restart requests are idempotent.
+  }
+  NodeId node = PickUpNodePreferring(manager_node_);
+  if (node == kInvalidNode) {
+    SNS_LOG(kError, "system") << "no node available to restart the manager";
+    return kInvalidProcess;
+  }
+  manager_pid_ = cluster_.Spawn(node, std::make_unique<ManagerProcess>(config_, this));
+  // Restoring the control plane restores the configured roster: a freshly started
+  // manager has empty soft state, so front ends (or the profile DB) that died in
+  // the same window would otherwise never come back — the launcher owns the
+  // deployment configuration, the manager only its observations.
+  for (int i = 0; i < static_cast<int>(fe_pids_.size()); ++i) {
+    RelaunchFrontEnd(i);
+  }
+  RelaunchProfileDb();
+  return manager_pid_;
+}
+
+ProcessId SnsSystem::RelaunchFrontEnd(int fe_index) {
+  if (fe_index < 0 || fe_index >= static_cast<int>(fe_pids_.size())) {
+    return kInvalidProcess;
+  }
+  auto idx = static_cast<size_t>(fe_index);
+  if (fe_pids_[idx] != kInvalidProcess && cluster_.Find(fe_pids_[idx]) != nullptr) {
+    return fe_pids_[idx];
+  }
+  NodeId node = PickUpNodePreferring(fe_nodes_[idx]);
+  if (node == kInvalidNode || !logic_factory_) {
+    return kInvalidProcess;
+  }
+  FrontEndOptions options;
+  options.fe_index = fe_index;
+  options.origin = origin_endpoint_;
+  options.seed = topology_.seed ^ (0xFEULL << 32) ^ static_cast<uint64_t>(fe_index);
+  fe_pids_[idx] = cluster_.Spawn(
+      node, std::make_unique<FrontEndProcess>(config_, options, logic_factory_(fe_index), this));
+  return fe_pids_[idx];
+}
+
+ProcessId SnsSystem::RelaunchProfileDb() {
+  if (!topology_.with_profile_db) {
+    return kInvalidProcess;
+  }
+  if (profile_db_pid_ != kInvalidProcess && cluster_.Find(profile_db_pid_) != nullptr) {
+    return profile_db_pid_;
+  }
+  NodeId node = PickUpNodePreferring(profile_db_node_);
+  if (node == kInvalidNode) {
+    return kInvalidProcess;
+  }
+  // The new primary recovers from the shared WAL ("disk") in OnStart.
+  profile_db_pid_ = cluster_.Spawn(
+      node, std::make_unique<ProfileDbProcess>(topology_.profile_db, &profile_store_));
+  return profile_db_pid_;
+}
+
+int SnsSystem::HotUpgradeWorkers(const std::string& type, SimDuration pause) {
+  std::vector<WorkerProcess*> workers = live_workers(type);
+  int scheduled = 0;
+  SimDuration delay = 0;
+  for (WorkerProcess* worker : workers) {
+    ProcessId victim = worker->pid();
+    NodeId node = worker->node();
+    sim_.Schedule(delay, [this, victim, node, type] {
+      // Graceful stop (drains nothing further; queued work is lost soft state that
+      // the front ends' retries regenerate), then the "upgraded" instance starts on
+      // the same node.
+      if (cluster_.Find(victim) != nullptr) {
+        cluster_.Stop(victim);
+        LaunchWorker(type, node);
+      }
+    });
+    delay += pause;
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+NodeId SnsSystem::PickUpNodePreferring(NodeId preferred) const {
+  if (preferred != kInvalidNode && cluster_.NodeUp(preferred)) {
+    return preferred;
+  }
+  for (NodeId node : cluster_.UpNodes(/*include_overflow=*/true)) {
+    return node;
+  }
+  return kInvalidNode;
+}
+
+ManagerProcess* SnsSystem::manager() const {
+  return static_cast<ManagerProcess*>(cluster_.Find(manager_pid_));
+}
+
+FrontEndProcess* SnsSystem::front_end(int fe_index) const {
+  if (fe_index < 0 || fe_index >= static_cast<int>(fe_pids_.size())) {
+    return nullptr;
+  }
+  return static_cast<FrontEndProcess*>(cluster_.Find(fe_pids_[static_cast<size_t>(fe_index)]));
+}
+
+std::vector<FrontEndProcess*> SnsSystem::front_ends() const {
+  std::vector<FrontEndProcess*> out;
+  for (size_t i = 0; i < fe_pids_.size(); ++i) {
+    auto* fe = front_end(static_cast<int>(i));
+    if (fe != nullptr) {
+      out.push_back(fe);
+    }
+  }
+  return out;
+}
+
+MonitorProcess* SnsSystem::monitor() const {
+  return static_cast<MonitorProcess*>(cluster_.Find(monitor_pid_));
+}
+
+std::vector<WorkerProcess*> SnsSystem::live_workers() const {
+  std::vector<WorkerProcess*> out;
+  for (NodeId node : cluster_.AllNodes()) {
+    for (ProcessId pid : cluster_.ProcessesOnNode(node)) {
+      auto* worker = dynamic_cast<WorkerProcess*>(cluster_.Find(pid));
+      if (worker != nullptr) {
+        out.push_back(worker);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<WorkerProcess*> SnsSystem::live_workers(const std::string& type) const {
+  std::vector<WorkerProcess*> out;
+  for (WorkerProcess* worker : live_workers()) {
+    if (worker->worker_type() == type) {
+      out.push_back(worker);
+    }
+  }
+  return out;
+}
+
+std::vector<CacheNodeProcess*> SnsSystem::cache_node_processes() const {
+  std::vector<CacheNodeProcess*> out;
+  for (ProcessId pid : cache_pids_) {
+    Process* p = cluster_.Find(pid);
+    if (p != nullptr) {
+      out.push_back(static_cast<CacheNodeProcess*>(p));
+    }
+  }
+  return out;
+}
+
+ProfileDbProcess* SnsSystem::profile_db() const {
+  return static_cast<ProfileDbProcess*>(cluster_.Find(profile_db_pid_));
+}
+
+Process* SnsSystem::origin_process() const { return cluster_.Find(origin_pid_); }
+
+int64_t SnsSystem::TotalCompletedRequests() const {
+  int64_t total = 0;
+  for (FrontEndProcess* fe : front_ends()) {
+    total += fe->completed_requests();
+  }
+  return total;
+}
+
+int64_t SnsSystem::TotalErrorResponses() const {
+  int64_t total = 0;
+  for (FrontEndProcess* fe : front_ends()) {
+    total += fe->error_responses();
+  }
+  return total;
+}
+
+}  // namespace sns

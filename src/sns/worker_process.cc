@@ -1,0 +1,167 @@
+#include "src/sns/worker_process.h"
+
+#include "src/cluster/cluster.h"
+#include "src/util/logging.h"
+
+namespace sns {
+
+WorkerProcess::WorkerProcess(const SnsConfig& config, TaccWorkerPtr worker)
+    : Process("worker:" + worker->type()),
+      config_(config),
+      worker_(std::move(worker)),
+      type_(worker_->type()) {}
+
+void WorkerProcess::OnStart() {
+  JoinGroup(kGroupManagerBeacon);
+  report_timer_ = std::make_unique<PeriodicTimer>(sim(), config_.load_report_period,
+                                                  [this] { ReportLoad(); });
+  // Stagger reports across workers so hundreds of colocated distillers don't
+  // synchronize their announcements into one burst at the manager's NIC.
+  auto stagger = static_cast<SimDuration>(
+      (static_cast<uint64_t>(pid()) * 0x9E3779B97F4A7C15ULL) %
+      static_cast<uint64_t>(config_.load_report_period));
+  report_timer_->StartWithDelay(stagger + Milliseconds(1));
+}
+
+void WorkerProcess::OnStop() {
+  report_timer_.reset();
+  LeaveGroup(kGroupManagerBeacon);
+}
+
+void WorkerProcess::OnMessage(const Message& msg) {
+  switch (msg.type) {
+    case kMsgManagerBeacon:
+      HandleBeacon(static_cast<const ManagerBeaconPayload&>(*msg.payload));
+      break;
+    case kMsgTaskRequest:
+      HandleTask(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void WorkerProcess::HandleBeacon(const ManagerBeaconPayload& beacon) {
+  if (beacon.manager != manager_) {
+    // New manager incarnation (first sighting, or restart after a crash):
+    // re-register. No other recovery is needed — all our state is re-derivable.
+    manager_ = beacon.manager;
+    RegisterWithManager();
+  }
+}
+
+void WorkerProcess::RegisterWithManager() {
+  auto payload = std::make_shared<RegisterComponentPayload>();
+  payload->kind = ComponentKind::kWorker;
+  payload->worker_type = type_;
+  payload->component = endpoint();
+  payload->interchangeable = worker_->interchangeable();
+  Message msg;
+  msg.dst = manager_;
+  msg.type = kMsgRegisterComponent;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = 96 + static_cast<int64_t>(type_.size());
+  msg.payload = payload;
+  Send(std::move(msg));
+}
+
+double WorkerProcess::WeightedQueueLength() const {
+  double reference = static_cast<double>(config_.queue_cost_reference);
+  return reference > 0 ? static_cast<double>(queued_cost_) / reference : QueueLength();
+}
+
+void WorkerProcess::HandleTask(const Message& msg) {
+  auto task = std::static_pointer_cast<const TaskRequestPayload>(msg.payload);
+  if (queue_.size() >= kQueueCapacity) {
+    ++rejected_;
+    auto reply = std::make_shared<TaskResponsePayload>();
+    reply->task_id = task->task_id;
+    reply->status = ResourceExhaustedError("worker queue full");
+    reply->worker_type = type_;
+    Message out;
+    out.dst = task->reply_to;
+    out.type = kMsgTaskResponse;
+    out.transport = Transport::kReliable;
+    out.size_bytes = WireSizeOf(*reply);
+    out.payload = reply;
+    Send(std::move(out));
+    return;
+  }
+  TaccRequest probe;
+  probe.url = task->url;
+  probe.inputs = task->inputs;
+  probe.args = task->args;
+  SimDuration cost = worker_->EstimateCost(probe);
+  queued_cost_ += cost;
+  queue_.push_back(QueuedTask{std::move(task), cost});
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void WorkerProcess::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  QueuedTask queued = std::move(queue_.front());
+  queue_.pop_front();
+  auto task = std::move(queued.payload);
+
+  TaccRequest request;
+  request.url = task->url;
+  request.inputs = task->inputs;
+  request.profile = task->profile;
+  request.args = task->args;
+
+  SimDuration cost = queued.estimated_cost;
+  RunOnCpu(cost, [this, cost, task, request = std::move(request)] {
+    queued_cost_ -= cost;
+    // Pathological input: the worker code crashes. The SNS layer's process-peer
+    // fault tolerance masks this — no reply is sent; the front end times out or
+    // sees a broken connection and retries elsewhere (§3.1.6).
+    if (request.args.count("__poison") > 0) {
+      SNS_LOG(kInfo, "worker") << type_ << " crashed on pathological input " << request.url;
+      cluster()->Crash(pid());
+      return;
+    }
+    TaccResult result = worker_->Process(request);
+    ++completed_;
+    auto reply = std::make_shared<TaskResponsePayload>();
+    reply->task_id = task->task_id;
+    reply->status = result.status;
+    reply->output = result.output;
+    reply->worker_type = type_;
+    Message out;
+    out.dst = task->reply_to;
+    out.type = kMsgTaskResponse;
+    out.transport = Transport::kReliable;
+    out.size_bytes = WireSizeOf(*reply);
+    out.payload = reply;
+    Send(std::move(out));
+    StartNext();
+  });
+}
+
+void WorkerProcess::ReportLoad() {
+  if (!manager_.valid()) {
+    return;
+  }
+  auto payload = std::make_shared<LoadReportPayload>();
+  payload->kind = ComponentKind::kWorker;
+  payload->worker_type = type_;
+  payload->component = endpoint();
+  payload->queue_length =
+      config_.weight_queue_by_cost ? WeightedQueueLength() : QueueLength();
+  payload->completed_tasks = completed_;
+  Message msg;
+  msg.dst = manager_;
+  msg.type = kMsgLoadReport;
+  msg.transport = Transport::kDatagram;  // Best effort; loss tolerated (soft state).
+  msg.size_bytes = 80 + static_cast<int64_t>(type_.size());
+  msg.payload = payload;
+  Send(std::move(msg));
+}
+
+}  // namespace sns

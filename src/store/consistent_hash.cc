@@ -1,0 +1,83 @@
+#include "src/store/consistent_hash.h"
+
+#include "src/util/strings.h"
+
+namespace sns {
+
+uint64_t ConsistentHashRing::PointHash(int64_t member, int vnode) {
+  char buf[32];
+  // Mix member and vnode through FNV for well-spread ring points.
+  std::snprintf(buf, sizeof(buf), "%lld#%d", static_cast<long long>(member), vnode);
+  return Fnv1a(buf, std::char_traits<char>::length(buf));
+}
+
+void ConsistentHashRing::AddMember(int64_t member) {
+  if (!members_.insert(member).second) {
+    return;
+  }
+  for (int v = 0; v < vnodes_; ++v) {
+    ring_[PointHash(member, v)] = member;
+  }
+}
+
+void ConsistentHashRing::RemoveMember(int64_t member) {
+  if (members_.erase(member) == 0) {
+    return;
+  }
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == member) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<int64_t> ConsistentHashRing::Members() const {
+  return std::vector<int64_t>(members_.begin(), members_.end());
+}
+
+std::optional<int64_t> ConsistentHashRing::Lookup(const std::string& key) const {
+  return LookupHash(Fnv1a(key));
+}
+
+std::optional<int64_t> ConsistentHashRing::LookupHash(uint64_t hash) const {
+  if (ring_.empty()) {
+    return std::nullopt;
+  }
+  auto it = ring_.lower_bound(hash);
+  if (it == ring_.end()) {
+    it = ring_.begin();  // Wrap around.
+  }
+  return it->second;
+}
+
+std::vector<int64_t> ConsistentHashRing::LookupN(const std::string& key, size_t n) const {
+  std::vector<int64_t> out;
+  if (ring_.empty() || n == 0) {
+    return out;
+  }
+  uint64_t hash = Fnv1a(key);
+  auto it = ring_.lower_bound(hash);
+  size_t visited = 0;
+  while (out.size() < n && visited < ring_.size()) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    bool seen = false;
+    for (int64_t m : out) {
+      if (m == it->second) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      out.push_back(it->second);
+    }
+    ++it;
+    ++visited;
+  }
+  return out;
+}
+
+}  // namespace sns

@@ -1,0 +1,49 @@
+// Consistent hashing of a key space across cache partitions.
+//
+// Paper §3.1.5: "the manager stub can manage a number of separate cache nodes as a
+// single virtual cache, hashing the key space across the separate caches and
+// automatically re-hashing when cache nodes are added or removed." A ring with
+// virtual nodes keeps the re-hashed fraction near 1/n on membership change.
+
+#ifndef SRC_STORE_CONSISTENT_HASH_H_
+#define SRC_STORE_CONSISTENT_HASH_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sns {
+
+class ConsistentHashRing {
+ public:
+  // vnodes: virtual points per member; more points = smoother balance.
+  explicit ConsistentHashRing(int vnodes = 64) : vnodes_(vnodes) {}
+
+  void AddMember(int64_t member);
+  void RemoveMember(int64_t member);
+  bool HasMember(int64_t member) const { return members_.count(member) > 0; }
+  size_t MemberCount() const { return members_.size(); }
+  std::vector<int64_t> Members() const;
+
+  // Member owning `key`; nullopt when the ring is empty.
+  std::optional<int64_t> Lookup(const std::string& key) const;
+  std::optional<int64_t> LookupHash(uint64_t hash) const;
+
+  // The first `n` distinct members encountered clockwise from the key's position —
+  // usable for replication / failover chains.
+  std::vector<int64_t> LookupN(const std::string& key, size_t n) const;
+
+ private:
+  static uint64_t PointHash(int64_t member, int vnode);
+
+  int vnodes_;
+  std::set<int64_t> members_;
+  std::map<uint64_t, int64_t> ring_;  // point -> member
+};
+
+}  // namespace sns
+
+#endif  // SRC_STORE_CONSISTENT_HASH_H_

@@ -1,0 +1,135 @@
+#include "src/store/kvstore.h"
+
+#include "src/util/strings.h"
+
+namespace sns {
+
+uint64_t KvStore::ChecksumOps(const std::vector<Op>& ops) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 0x100000001B3ULL;
+    }
+  };
+  for (const Op& op : ops) {
+    auto kind = static_cast<uint8_t>(op.kind);
+    mix(&kind, 1);
+    uint32_t klen = static_cast<uint32_t>(op.key.size());
+    uint32_t vlen = static_cast<uint32_t>(op.value.size());
+    mix(&klen, sizeof(klen));
+    mix(op.key.data(), op.key.size());
+    mix(&vlen, sizeof(vlen));
+    mix(op.value.data(), op.value.size());
+  }
+  return h;
+}
+
+void KvStore::ApplyOps(const std::vector<Op>& ops) {
+  for (const Op& op : ops) {
+    if (op.kind == Op::Kind::kPut) {
+      table_[op.key] = op.value;
+    } else {
+      table_.erase(op.key);
+    }
+  }
+}
+
+Status KvStore::Put(const std::string& key, const std::string& value) {
+  return Commit({Op{Op::Kind::kPut, key, value}});
+}
+
+Status KvStore::Delete(const std::string& key) {
+  return Commit({Op{Op::Kind::kDelete, key, ""}});
+}
+
+std::optional<std::string> KvStore::Get(const std::string& key) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+Status KvStore::Commit(const std::vector<Op>& ops) {
+  if (ops.empty()) {
+    return InvalidArgumentError("empty transaction");
+  }
+  LogRecord record;
+  record.ops = ops;
+  record.checksum = ChecksumOps(ops);
+  wal_.push_back(std::move(record));  // "fsync" point: record is durable.
+  ApplyOps(ops);
+  return Status::Ok();
+}
+
+void KvStore::SimulateCrash() { table_.clear(); }
+
+Result<int64_t> KvStore::Recover() {
+  table_.clear();
+  int64_t applied = 0;
+  size_t valid_prefix = 0;
+  for (const LogRecord& record : wal_) {
+    if (record.torn || record.checksum != ChecksumOps(record.ops)) {
+      break;  // Discard this record and everything after it.
+    }
+    ApplyOps(record.ops);
+    ++applied;
+    ++valid_prefix;
+  }
+  wal_.resize(valid_prefix);
+  return applied;
+}
+
+void KvStore::Checkpoint() {
+  std::vector<Op> snapshot;
+  snapshot.reserve(table_.size());
+  for (const auto& [key, value] : table_) {
+    snapshot.push_back(Op{Op::Kind::kPut, key, value});
+  }
+  wal_.clear();
+  if (!snapshot.empty()) {
+    LogRecord record;
+    record.ops = std::move(snapshot);
+    record.checksum = ChecksumOps(record.ops);
+    wal_.push_back(std::move(record));
+  }
+}
+
+Status KvStore::CorruptLogRecord(size_t index) {
+  if (index >= wal_.size()) {
+    return InvalidArgumentError("no such WAL record");
+  }
+  LogRecord& record = wal_[index];
+  if (record.ops.empty()) {
+    return InvalidArgumentError("empty record");
+  }
+  if (!record.ops[0].value.empty()) {
+    record.ops[0].value[0] = static_cast<char>(record.ops[0].value[0] ^ 0x5A);
+  } else if (!record.ops[0].key.empty()) {
+    record.ops[0].key[0] = static_cast<char>(record.ops[0].key[0] ^ 0x5A);
+  }
+  return Status::Ok();
+}
+
+Status KvStore::TearLastRecord() {
+  if (wal_.empty()) {
+    return FailedPreconditionError("WAL is empty");
+  }
+  wal_.back().torn = true;
+  return Status::Ok();
+}
+
+int64_t KvStore::wal_bytes() const {
+  int64_t total = 0;
+  for (const LogRecord& record : wal_) {
+    total += 16;  // Record header + checksum.
+    for (const Op& op : record.ops) {
+      total += 9 + static_cast<int64_t>(op.key.size() + op.value.size());
+    }
+  }
+  return total;
+}
+
+}  // namespace sns

@@ -1,0 +1,84 @@
+// A small ACID key-value store with a write-ahead log: the customization database.
+//
+// Paper §2.3/§3.1.4: the user-profile database is the one deliberately ACID
+// component of a mostly-BASE service (TranSend used gdbm, HotBot used Informix).
+// This store provides atomic, durable single-key writes via a checksummed WAL with
+// crash recovery by replay. `SimulateCrash()` drops all volatile state so tests can
+// prove recovery; `Corrupt*` helpers let tests exercise torn-write handling.
+//
+// The store itself is synchronous and time-free; the process hosting it (the profile
+// DB process, src/sns/profile_db.h) charges commit latency to its node.
+
+#ifndef SRC_STORE_KVSTORE_H_
+#define SRC_STORE_KVSTORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sns {
+
+class KvStore {
+ public:
+  KvStore() = default;
+
+  // --- ACID operations -----------------------------------------------------------
+  // Durable single-key put: appends to the WAL, then applies to the table.
+  Status Put(const std::string& key, const std::string& value);
+  Status Delete(const std::string& key);
+  std::optional<std::string> Get(const std::string& key) const;
+  bool Contains(const std::string& key) const { return table_.count(key) > 0; }
+
+  // Atomic multi-key transaction: all puts/deletes apply or none do.
+  struct Op {
+    enum class Kind { kPut, kDelete } kind;
+    std::string key;
+    std::string value;  // Empty for deletes.
+  };
+  Status Commit(const std::vector<Op>& ops);
+
+  size_t size() const { return table_.size(); }
+
+  // --- Crash / recovery ------------------------------------------------------------
+  // Drops all in-memory state (as a process crash would); the WAL survives.
+  void SimulateCrash();
+
+  // Replays the WAL to rebuild the table. Stops at the first corrupt or torn
+  // record, discarding it and everything after (standard WAL semantics). Returns the
+  // number of records applied.
+  Result<int64_t> Recover();
+
+  // Compacts the WAL into a single snapshot of current state.
+  void Checkpoint();
+
+  // --- Fault-injection hooks for tests -----------------------------------------------
+  // Flips a byte in WAL record `index`, simulating media corruption.
+  Status CorruptLogRecord(size_t index);
+  // Truncates the last record mid-write (a torn write during a crash).
+  Status TearLastRecord();
+
+  size_t wal_records() const { return wal_.size(); }
+  int64_t wal_bytes() const;
+
+ private:
+  struct LogRecord {
+    // Serialized form: one committed transaction.
+    std::vector<Op> ops;
+    uint64_t checksum = 0;  // Over the serialized ops.
+    bool torn = false;      // Simulated partial write.
+  };
+
+  static uint64_t ChecksumOps(const std::vector<Op>& ops);
+  void ApplyOps(const std::vector<Op>& ops);
+
+  std::map<std::string, std::string> table_;  // Volatile.
+  std::vector<LogRecord> wal_;                // "Durable".
+};
+
+}  // namespace sns
+
+#endif  // SRC_STORE_KVSTORE_H_

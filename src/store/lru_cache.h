@@ -1,0 +1,134 @@
+// Byte-capacity LRU cache.
+//
+// Backs the cache workers (paper §3.1.5) and the §4.4 cache-simulation study of hit
+// rate vs cache size vs user population. Capacity is accounted in bytes because the
+// paper sizes caches in MB/GB ("even a small cache (400MB) can reduce the load...").
+// Header-only template so keys/values stay strongly typed per use.
+
+#ifndef SRC_STORE_LRU_CACHE_H_
+#define SRC_STORE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+namespace sns {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  // size_of returns the charged size of a value in bytes (>= 0).
+  LruCache(int64_t capacity_bytes, std::function<int64_t(const V&)> size_of)
+      : capacity_bytes_(capacity_bytes), size_of_(std::move(size_of)) {}
+
+  // Convenience for fixed-cost entries (classic count-based LRU with unit sizes).
+  explicit LruCache(int64_t capacity_entries)
+      : LruCache(capacity_entries, [](const V&) { return int64_t{1}; }) {}
+
+  // Returns the value and promotes the entry to most-recently-used.
+  std::optional<V> Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->value;
+  }
+
+  // Peeks without promoting or counting a hit/miss.
+  const V* Peek(const K& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->value;
+  }
+
+  bool Contains(const K& key) const { return index_.count(key) > 0; }
+
+  // Inserts or replaces; evicts LRU entries until the new value fits. A value
+  // larger than the whole capacity is not cached at all.
+  void Put(const K& key, V value) {
+    int64_t size = size_of_(value);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      used_bytes_ -= it->second->size;
+      order_.erase(it->second);
+      index_.erase(it);
+    }
+    if (size > capacity_bytes_) {
+      ++rejected_;
+      return;
+    }
+    EvictUntilFits(size);
+    order_.push_front(Entry{key, std::move(value), size});
+    index_[key] = order_.begin();
+    used_bytes_ += size;
+  }
+
+  bool Erase(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    used_bytes_ -= it->second->size;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+    used_bytes_ = 0;
+  }
+
+  size_t size() const { return index_.size(); }
+  int64_t used_bytes() const { return used_bytes_; }
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t evictions() const { return evictions_; }
+  double HitRate() const {
+    int64_t total = hits_ + misses_;
+    return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+  void ResetCounters() {
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+    rejected_ = 0;
+  }
+
+ private:
+  struct Entry {
+    K key;
+    V value;
+    int64_t size;
+  };
+
+  void EvictUntilFits(int64_t incoming) {
+    while (!order_.empty() && used_bytes_ + incoming > capacity_bytes_) {
+      const Entry& victim = order_.back();
+      used_bytes_ -= victim.size;
+      index_.erase(victim.key);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  int64_t capacity_bytes_;
+  std::function<int64_t(const V&)> size_of_;
+  std::list<Entry> order_;  // Front = most recently used.
+  std::unordered_map<K, typename std::list<Entry>::iterator, Hash> index_;
+  int64_t used_bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace sns
+
+#endif  // SRC_STORE_LRU_CACHE_H_

@@ -1,0 +1,127 @@
+// Soft-state table with TTL expiry: the BASE building block.
+//
+// Paper §2.2.4: components carry caches of peer state refreshed by periodic
+// messages; entries not refreshed within their TTL are presumed dead and expire.
+// The manager's distiller table, the manager stub's load-hint cache, and the
+// monitor's component registry are all SoftStateTables.
+
+#ifndef SRC_STORE_SOFT_STATE_H_
+#define SRC_STORE_SOFT_STATE_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace sns {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class SoftStateTable {
+ public:
+  explicit SoftStateTable(SimDuration default_ttl) : default_ttl_(default_ttl) {}
+
+  // Inserts or refreshes an entry; its lease now runs until now + ttl.
+  void Refresh(const K& key, V value, SimTime now) { Refresh(key, std::move(value), now, default_ttl_); }
+  void Refresh(const K& key, V value, SimTime now, SimDuration ttl) {
+    entries_[key] = Entry{std::move(value), now + ttl};
+  }
+
+  // Renews the lease without replacing the value; returns false if absent/expired.
+  bool Touch(const K& key, SimTime now) {
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.expires_at <= now) {
+      return false;
+    }
+    it->second.expires_at = now + default_ttl_;
+    return true;
+  }
+
+  // Returns the value if present and unexpired.
+  std::optional<V> Get(const K& key, SimTime now) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.expires_at <= now) {
+      return std::nullopt;
+    }
+    return it->second.value;
+  }
+
+  // Mutable access for in-place updates (e.g., bump a queue-length field).
+  V* GetMutable(const K& key, SimTime now) {
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.expires_at <= now) {
+      return nullptr;
+    }
+    return &it->second.value;
+  }
+
+  bool Contains(const K& key, SimTime now) const { return Get(key, now).has_value(); }
+
+  bool Erase(const K& key) { return entries_.erase(key) > 0; }
+
+  // Removes expired entries, invoking `on_expired` for each (the manager uses this
+  // to declare distillers dead and notify stubs). Returns the number expired.
+  size_t Expire(SimTime now, std::function<void(const K&, const V&)> on_expired = nullptr) {
+    size_t count = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.expires_at <= now) {
+        if (on_expired) {
+          on_expired(it->first, it->second.value);
+        }
+        it = entries_.erase(it);
+        ++count;
+      } else {
+        ++it;
+      }
+    }
+    return count;
+  }
+
+  // Live keys as of `now` (unexpired; does not prune).
+  std::vector<K> LiveKeys(SimTime now) const {
+    std::vector<K> keys;
+    for (const auto& [key, entry] : entries_) {
+      if (entry.expires_at > now) {
+        keys.push_back(key);
+      }
+    }
+    return keys;
+  }
+
+  // Visits every live entry.
+  void ForEach(SimTime now, const std::function<void(const K&, const V&)>& fn) const {
+    for (const auto& [key, entry] : entries_) {
+      if (entry.expires_at > now) {
+        fn(key, entry.value);
+      }
+    }
+  }
+
+  size_t SizeIncludingExpired() const { return entries_.size(); }
+  size_t LiveCount(SimTime now) const {
+    size_t n = 0;
+    for (const auto& [key, entry] : entries_) {
+      if (entry.expires_at > now) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  void Clear() { entries_.clear(); }
+  SimDuration default_ttl() const { return default_ttl_; }
+
+ private:
+  struct Entry {
+    V value;
+    SimTime expires_at;
+  };
+
+  SimDuration default_ttl_;
+  std::unordered_map<K, Entry, Hash> entries_;
+};
+
+}  // namespace sns
+
+#endif  // SRC_STORE_SOFT_STATE_H_

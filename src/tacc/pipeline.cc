@@ -1,0 +1,61 @@
+#include "src/tacc/pipeline.h"
+
+#include "src/util/strings.h"
+
+namespace sns {
+
+std::string PipelineSpec::ToString() const {
+  std::vector<std::string> names;
+  names.reserve(stages.size());
+  for (const PipelineStage& stage : stages) {
+    names.push_back(stage.worker_type);
+  }
+  return StrJoin(names, " | ");
+}
+
+PipelineSpec PipelineSpec::Single(std::string worker_type,
+                                  std::map<std::string, std::string> args) {
+  PipelineSpec spec;
+  spec.stages.push_back(PipelineStage{std::move(worker_type), std::move(args)});
+  return spec;
+}
+
+TaccResult RunPipelineLocally(const WorkerRegistry& registry, const PipelineSpec& spec,
+                              const TaccRequest& initial) {
+  TaccRequest request = initial;
+  ContentPtr current = initial.inputs.empty() ? nullptr : initial.inputs.front();
+  for (size_t i = 0; i < spec.stages.size(); ++i) {
+    const PipelineStage& stage = spec.stages[i];
+    TaccWorkerPtr worker = registry.Create(stage.worker_type);
+    if (worker == nullptr) {
+      return TaccResult::Fail(NotFoundError("unknown worker type: " + stage.worker_type));
+    }
+    request.args = stage.args;
+    if (i > 0) {
+      request.inputs.assign(1, current);
+    }
+    TaccResult result = worker->Process(request);
+    if (!result.status.ok()) {
+      return result;
+    }
+    current = result.output;
+  }
+  return TaccResult::Ok(current);
+}
+
+SimDuration EstimatePipelineCost(const WorkerRegistry& registry, const PipelineSpec& spec,
+                                 const TaccRequest& initial) {
+  SimDuration total = 0;
+  TaccRequest request = initial;
+  for (const PipelineStage& stage : spec.stages) {
+    TaccWorkerPtr worker = registry.Create(stage.worker_type);
+    if (worker == nullptr) {
+      continue;
+    }
+    request.args = stage.args;
+    total += worker->EstimateCost(request);
+  }
+  return total;
+}
+
+}  // namespace sns

@@ -1,0 +1,49 @@
+// Pipeline composition of TACC workers.
+//
+// Paper §2.3: "Our initial implementation allows Unix-pipeline-like chaining of an
+// arbitrary number of stateless transformations and aggregations". A PipelineSpec
+// names the stages; RunPipelineLocally executes one synchronously (tests, examples,
+// and the FE's degraded local fallback), while in the full system the front end
+// ships each stage to a worker selected by the manager stub.
+
+#ifndef SRC_TACC_PIPELINE_H_
+#define SRC_TACC_PIPELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/tacc/registry.h"
+#include "src/tacc/worker.h"
+
+namespace sns {
+
+struct PipelineStage {
+  std::string worker_type;
+  std::map<std::string, std::string> args;
+};
+
+struct PipelineSpec {
+  std::vector<PipelineStage> stages;
+
+  bool empty() const { return stages.empty(); }
+  std::string ToString() const;  // "distill-gif | distill-jpeg | munge-html"
+
+  static PipelineSpec Single(std::string worker_type,
+                             std::map<std::string, std::string> args = {});
+};
+
+// Runs the pipeline in-process: stage i+1's input is stage i's output. The profile
+// and URL flow through unchanged (the TACC contract). Fails on the first stage
+// error or unknown worker type.
+TaccResult RunPipelineLocally(const WorkerRegistry& registry, const PipelineSpec& spec,
+                              const TaccRequest& initial);
+
+// Total estimated CPU cost of running `spec` on `initial` (approximate: assumes
+// stage outputs have the same size as inputs).
+SimDuration EstimatePipelineCost(const WorkerRegistry& registry, const PipelineSpec& spec,
+                                 const TaccRequest& initial);
+
+}  // namespace sns
+
+#endif  // SRC_TACC_PIPELINE_H_

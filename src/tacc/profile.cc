@@ -1,0 +1,112 @@
+#include "src/tacc/profile.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/strings.h"
+
+namespace sns {
+
+std::optional<std::string> UserProfile::Get(const std::string& key) const {
+  auto it = pairs_.find(key);
+  if (it == pairs_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string UserProfile::GetOr(const std::string& key, const std::string& fallback) const {
+  auto v = Get(key);
+  return v.has_value() ? *v : fallback;
+}
+
+int64_t UserProfile::GetIntOr(const std::string& key, int64_t fallback) const {
+  auto v = Get(key);
+  if (!v.has_value()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  int64_t parsed = std::strtoll(v->c_str(), &end, 10);
+  return (end != nullptr && *end == '\0' && end != v->c_str()) ? parsed : fallback;
+}
+
+bool UserProfile::GetBoolOr(const std::string& key, bool fallback) const {
+  auto v = Get(key);
+  if (!v.has_value()) {
+    return fallback;
+  }
+  if (*v == "true" || *v == "1" || *v == "yes") {
+    return true;
+  }
+  if (*v == "false" || *v == "0" || *v == "no") {
+    return false;
+  }
+  return fallback;
+}
+
+namespace {
+
+void AppendLengthPrefixed(std::string* out, const std::string& s) {
+  uint32_t len = static_cast<uint32_t>(s.size());
+  out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+  out->append(s);
+}
+
+bool ReadLengthPrefixed(const std::string& data, size_t* pos, std::string* out) {
+  if (*pos + sizeof(uint32_t) > data.size()) {
+    return false;
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, data.data() + *pos, sizeof(len));
+  *pos += sizeof(len);
+  if (*pos + len > data.size()) {
+    return false;
+  }
+  out->assign(data, *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+std::string UserProfile::Serialize() const {
+  std::string out;
+  uint32_t count = static_cast<uint32_t>(pairs_.size());
+  out.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [key, value] : pairs_) {
+    AppendLengthPrefixed(&out, key);
+    AppendLengthPrefixed(&out, value);
+  }
+  return out;
+}
+
+Result<UserProfile> UserProfile::Deserialize(const std::string& user_id,
+                                             const std::string& data) {
+  UserProfile profile(user_id);
+  size_t pos = 0;
+  if (data.size() < sizeof(uint32_t)) {
+    return CorruptionError("profile record too short");
+  }
+  uint32_t count = 0;
+  std::memcpy(&count, data.data(), sizeof(count));
+  pos += sizeof(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key;
+    std::string value;
+    if (!ReadLengthPrefixed(data, &pos, &key) || !ReadLengthPrefixed(data, &pos, &value)) {
+      return CorruptionError("profile record truncated");
+    }
+    profile.Set(key, std::move(value));
+  }
+  return profile;
+}
+
+int64_t UserProfile::WireSize() const {
+  int64_t size = static_cast<int64_t>(user_id_.size()) + 8;
+  for (const auto& [key, value] : pairs_) {
+    size += static_cast<int64_t>(key.size() + value.size()) + 8;
+  }
+  return size;
+}
+
+}  // namespace sns

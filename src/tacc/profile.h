@@ -1,0 +1,51 @@
+// User customization profiles.
+//
+// Paper §2.3: "The customization database, a traditional ACID database, maps a user
+// identification token (such as an IP address or cookie) to a list of key-value
+// pairs for each user of the service. ... the appropriate profile information is
+// automatically delivered to workers along with the input data".
+
+#ifndef SRC_TACC_PROFILE_H_
+#define SRC_TACC_PROFILE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace sns {
+
+class UserProfile {
+ public:
+  UserProfile() = default;
+  explicit UserProfile(std::string user_id) : user_id_(std::move(user_id)) {}
+
+  const std::string& user_id() const { return user_id_; }
+  void set_user_id(std::string id) { user_id_ = std::move(id); }
+
+  void Set(const std::string& key, std::string value) { pairs_[key] = std::move(value); }
+  std::optional<std::string> Get(const std::string& key) const;
+  std::string GetOr(const std::string& key, const std::string& fallback) const;
+  int64_t GetIntOr(const std::string& key, int64_t fallback) const;
+  bool GetBoolOr(const std::string& key, bool fallback) const;
+  bool Has(const std::string& key) const { return pairs_.count(key) > 0; }
+  size_t size() const { return pairs_.size(); }
+  const std::map<std::string, std::string>& pairs() const { return pairs_; }
+
+  // Wire/storage form: length-prefixed key-value records (safe for arbitrary
+  // bytes). Used to persist profiles in the ACID KvStore.
+  std::string Serialize() const;
+  static Result<UserProfile> Deserialize(const std::string& user_id, const std::string& data);
+
+  // Approximate bytes on the wire, for SAN sizing.
+  int64_t WireSize() const;
+
+ private:
+  std::string user_id_;
+  std::map<std::string, std::string> pairs_;
+};
+
+}  // namespace sns
+
+#endif  // SRC_TACC_PROFILE_H_

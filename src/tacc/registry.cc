@@ -1,0 +1,26 @@
+#include "src/tacc/registry.h"
+
+namespace sns {
+
+void WorkerRegistry::Register(const std::string& type, Factory factory) {
+  factories_[type] = std::move(factory);
+}
+
+TaccWorkerPtr WorkerRegistry::Create(const std::string& type) const {
+  auto it = factories_.find(type);
+  if (it == factories_.end()) {
+    return nullptr;
+  }
+  return it->second();
+}
+
+std::vector<std::string> WorkerRegistry::Types() const {
+  std::vector<std::string> types;
+  types.reserve(factories_.size());
+  for (const auto& [type, factory] : factories_) {
+    types.push_back(type);
+  }
+  return types;
+}
+
+}  // namespace sns

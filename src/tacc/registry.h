@@ -1,0 +1,40 @@
+// Worker registry: maps worker-type names to factories.
+//
+// The manager spawns "more instances of that component class" on demand (§2.2.1);
+// the registry is how it knows how to construct an instance of a class. Services
+// register their worker types here at configuration time.
+
+#ifndef SRC_TACC_REGISTRY_H_
+#define SRC_TACC_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/tacc/worker.h"
+
+namespace sns {
+
+class WorkerRegistry {
+ public:
+  using Factory = std::function<TaccWorkerPtr()>;
+
+  // Registers (or replaces) the factory for a worker type.
+  void Register(const std::string& type, Factory factory);
+
+  bool Has(const std::string& type) const { return factories_.count(type) > 0; }
+
+  // Creates a fresh worker instance; nullptr for unknown types.
+  TaccWorkerPtr Create(const std::string& type) const;
+
+  std::vector<std::string> Types() const;
+  size_t size() const { return factories_.size(); }
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace sns
+
+#endif  // SRC_TACC_REGISTRY_H_

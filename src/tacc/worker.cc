@@ -1,0 +1,36 @@
+#include "src/tacc/worker.h"
+
+#include <cstdlib>
+
+namespace sns {
+
+int64_t TaccRequest::ArgIntOr(const std::string& key, int64_t fallback) const {
+  auto it = args.find(key);
+  if (it == args.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  int64_t parsed = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0' && end != it->second.c_str()) ? parsed : fallback;
+}
+
+int64_t TaccRequest::TotalInputBytes() const {
+  int64_t total = 0;
+  for (const ContentPtr& c : inputs) {
+    if (c != nullptr) {
+      total += c->size();
+    }
+  }
+  return total;
+}
+
+SimDuration CostFromModel(const CostModel& model, int64_t input_bytes) {
+  return model.fixed + static_cast<SimDuration>(static_cast<double>(model.per_kilobyte) *
+                                                (static_cast<double>(input_bytes) / 1024.0));
+}
+
+SimDuration TaccWorker::EstimateCost(const TaccRequest& request) const {
+  return CostFromModel(CostModel{}, request.TotalInputBytes());
+}
+
+}  // namespace sns

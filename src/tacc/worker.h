@@ -1,0 +1,84 @@
+// The TACC worker API: composable, stateless building blocks.
+//
+// Paper §2.3: services are built by chaining stateless transformation and
+// aggregation workers, Unix-pipeline style. A worker sees its input object(s), the
+// requesting user's profile (delivered automatically), and service-chosen arguments;
+// it returns transformed or aggregated content. Workers "need not be thread-safe,
+// and can, in fact, crash without taking the system down" (§2.2.5) — worker code
+// here is pure compute, and the SNS worker stub wraps it with queueing, load
+// reporting and crash containment.
+
+#ifndef SRC_TACC_WORKER_H_
+#define SRC_TACC_WORKER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/content/content.h"
+#include "src/tacc/profile.h"
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace sns {
+
+struct TaccRequest {
+  std::string url;                      // Object being operated on (cache key base).
+  std::vector<ContentPtr> inputs;       // 1 for transformers, N for aggregators.
+  UserProfile profile;                  // Mass customization (§2.3).
+  std::map<std::string, std::string> args;  // Per-stage arguments from the service.
+
+  const ContentPtr& input() const { return inputs.front(); }
+  std::string ArgOr(const std::string& key, const std::string& fallback) const {
+    auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+  }
+  int64_t ArgIntOr(const std::string& key, int64_t fallback) const;
+  int64_t TotalInputBytes() const;
+};
+
+struct TaccResult {
+  Status status;
+  ContentPtr output;
+
+  static TaccResult Ok(ContentPtr content) { return TaccResult{Status::Ok(), std::move(content)}; }
+  static TaccResult Fail(Status status) { return TaccResult{std::move(status), nullptr}; }
+};
+
+class TaccWorker {
+ public:
+  virtual ~TaccWorker() = default;
+
+  // Worker class name ("distill-jpeg", "search-shard-3", ...). Load balancing and
+  // spawning operate per class: instances of the same type are interchangeable.
+  virtual std::string type() const = 0;
+
+  // Pure computation; must not retain state between calls (statelessness is what
+  // lets the SNS layer restart workers anywhere, §2.2).
+  virtual TaccResult Process(const TaccRequest& request) = 0;
+
+  // Simulated CPU cost of processing `request`, charged to the hosting node. The
+  // default models the paper's measured distillation behavior: a fixed dispatch
+  // cost plus a per-input-kilobyte slope (Fig. 7 measured ~8 ms/KB for GIF).
+  virtual SimDuration EstimateCost(const TaccRequest& request) const;
+
+  // Workers whose instances are NOT interchangeable (HotBot's statically
+  // partitioned search shards, §3.2) return false; the manager then never treats
+  // one instance as a substitute for another.
+  virtual bool interchangeable() const { return true; }
+};
+
+using TaccWorkerPtr = std::unique_ptr<TaccWorker>;
+
+// Default cost-model constants (overridable per worker).
+struct CostModel {
+  SimDuration fixed = Milliseconds(2);
+  SimDuration per_kilobyte = Milliseconds(8);  // Paper Fig. 7 slope.
+};
+
+SimDuration CostFromModel(const CostModel& model, int64_t input_bytes);
+
+}  // namespace sns
+
+#endif  // SRC_TACC_WORKER_H_

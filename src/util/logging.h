@@ -1,0 +1,75 @@
+// Minimal leveled logging with an injectable simulated-time source.
+//
+// Components log against the simulation clock, matching how the paper's monitor
+// timestamps component reports. Logging defaults to warnings-and-up so tests and
+// benchmarks stay quiet; examples turn on info-level narration.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "src/util/time.h"
+
+namespace sns {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kNone = 4 };
+
+class Logger {
+ public:
+  static Logger& Get();
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  // The simulator installs a clock callback so log lines carry sim time.
+  void set_time_source(std::function<SimTime()> source) { time_source_ = std::move(source); }
+  void clear_time_source() { time_source_ = nullptr; }
+
+  // Redirect output (tests capture it); defaults to stderr.
+  void set_sink(std::function<void(const std::string&)> sink) { sink_ = std::move(sink); }
+  void clear_sink() { sink_ = nullptr; }
+
+  bool Enabled(LogLevel level) const { return level >= min_level_; }
+  void Write(LogLevel level, const char* component, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel min_level_ = LogLevel::kWarning;
+  std::function<SimTime()> time_source_;
+  std::function<void(const std::string&)> sink_;
+};
+
+// Stream-style helper: SNS_LOG(kInfo, "manager") << "spawned distiller " << id;
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* component) : level_(level), component_(component) {}
+  ~LogMessage() {
+    if (Logger::Get().Enabled(level_)) {
+      Logger::Get().Write(level_, component_, stream_.str());
+    }
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (Logger::Get().Enabled(level_)) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+
+#define SNS_LOG(level, component) ::sns::LogMessage(::sns::LogLevel::level, component)
+
+}  // namespace sns
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,219 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace sns {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  int64_t total = count_ + other.count_;
+  double nb = static_cast<double>(other.count_);
+  double na = static_cast<double>(count_);
+  double nt = static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ += delta * nb / nt;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%lld mean=%.3f min=%.3f max=%.3f sd=%.3f",
+                static_cast<long long>(count_), mean(), min(), max(), stddev());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  summary_.Add(x);
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto i = static_cast<size_t>((x - lo_) / width_);
+  if (i >= counts_.size()) {
+    i = counts_.size() - 1;  // Guard against floating-point edge at hi.
+  }
+  ++counts_[i];
+}
+
+double Histogram::Percentile(double p) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  double target = p * static_cast<double>(total_);
+  double acc = static_cast<double>(underflow_);
+  if (target <= acc) {
+    return lo_;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = acc + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      double frac = (target - acc) / static_cast<double>(counts_[i]);
+      return BucketLow(i) + frac * width_;
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+double Histogram::Fraction(size_t i) const {
+  return total_ > 0 ? static_cast<double>(counts_[i]) / static_cast<double>(total_) : 0.0;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, size_t buckets_per_decade)
+    : log_lo_(std::log10(lo)), log_step_(1.0 / static_cast<double>(buckets_per_decade)) {
+  assert(lo > 0 && hi > lo && buckets_per_decade > 0);
+  auto n = static_cast<size_t>(std::ceil((std::log10(hi) - log_lo_) / log_step_));
+  counts_.assign(std::max<size_t>(n, 1), 0);
+}
+
+void LogHistogram::Add(double x) {
+  summary_.Add(x);
+  ++total_;
+  if (x <= 0) {
+    ++underflow_;
+    return;
+  }
+  double pos = (std::log10(x) - log_lo_) / log_step_;
+  if (pos < 0) {
+    ++underflow_;
+    return;
+  }
+  auto i = static_cast<size_t>(pos);
+  if (i >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[i];
+}
+
+double LogHistogram::BucketLow(size_t i) const {
+  return std::pow(10.0, log_lo_ + log_step_ * static_cast<double>(i));
+}
+
+double LogHistogram::Fraction(size_t i) const {
+  return total_ > 0 ? static_cast<double>(counts_[i]) / static_cast<double>(total_) : 0.0;
+}
+
+double LogHistogram::Percentile(double p) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  double target = p * static_cast<double>(total_);
+  double acc = static_cast<double>(underflow_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = acc + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      double frac = (target - acc) / static_cast<double>(counts_[i]);
+      double lo = BucketLow(i);
+      return lo + frac * (BucketHigh(i) - lo);
+    }
+    acc = next;
+  }
+  return BucketHigh(counts_.size() - 1);
+}
+
+void Ewma::Add(double x) {
+  if (empty_) {
+    value_ = x;
+    empty_ = false;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::Reset() {
+  value_ = 0.0;
+  empty_ = true;
+}
+
+void WindowedStats::Add(double x) {
+  window_.push_back(x);
+  if (window_.size() > capacity_) {
+    window_.pop_front();
+  }
+}
+
+double WindowedStats::Mean() const {
+  if (window_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : window_) {
+    sum += x;
+  }
+  return sum / static_cast<double>(window_.size());
+}
+
+double WindowedStats::Max() const {
+  if (window_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(window_.begin(), window_.end());
+}
+
+void DeltaEstimator::Observe(double value, double time_s) {
+  if (has_last_ && time_s > last_time_s_) {
+    slope_per_s_ = (value - last_value_) / (time_s - last_time_s_);
+    has_slope_ = true;
+  }
+  last_value_ = value;
+  last_time_s_ = time_s;
+  has_last_ = true;
+}
+
+double DeltaEstimator::Predict(double time_s) const {
+  if (!has_last_) {
+    return 0.0;
+  }
+  if (!has_slope_ || time_s <= last_time_s_) {
+    return last_value_;
+  }
+  double predicted = last_value_ + slope_per_s_ * (time_s - last_time_s_);
+  return predicted < 0.0 ? 0.0 : predicted;
+}
+
+}  // namespace sns

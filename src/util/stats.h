@@ -1,0 +1,162 @@
+// Statistics accumulators: running summaries, histograms, and moving averages.
+//
+// The manager's load-balancing policy (paper §3.1.2) relies on weighted moving
+// averages of worker queue lengths; the evaluation section reports means, peaks, and
+// percentile distributions. These small types back all of that.
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace sns {
+
+// Streaming summary: count / mean / min / max / stddev in O(1) space (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Histogram over fixed-width linear buckets; tracks out-of-range values in
+// underflow/overflow buckets and supports percentile queries.
+class Histogram {
+ public:
+  // Buckets cover [lo, hi) split into `buckets` equal cells.
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  int64_t TotalCount() const { return total_; }
+
+  // Approximate p-quantile (p in [0,1]) by linear interpolation within the bucket.
+  double Percentile(double p) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t bucket_count() const { return counts_.size(); }
+  int64_t bucket(size_t i) const { return counts_[i]; }
+  double BucketLow(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+  // Fraction of samples in bucket i.
+  double Fraction(size_t i) const;
+
+  const RunningStats& summary() const { return summary_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+  RunningStats summary_;
+};
+
+// Histogram with logarithmically spaced buckets, natural for content sizes that span
+// 10 B .. 1 MB (paper Fig. 5 uses a log-scaled x axis).
+class LogHistogram {
+ public:
+  // Buckets per decade controls resolution; range [lo, hi) with lo > 0.
+  LogHistogram(double lo, double hi, size_t buckets_per_decade);
+
+  void Add(double x);
+  int64_t TotalCount() const { return total_; }
+  size_t bucket_count() const { return counts_.size(); }
+  int64_t bucket(size_t i) const { return counts_[i]; }
+  double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const { return BucketLow(i + 1); }
+  double Fraction(size_t i) const;
+  double Percentile(double p) const;
+  const RunningStats& summary() const { return summary_; }
+
+ private:
+  double log_lo_;
+  double log_step_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+  RunningStats summary_;
+};
+
+// Exponentially weighted moving average. The manager aggregates distiller load
+// reports into an EWMA before broadcasting hints (paper §3.1.2).
+class Ewma {
+ public:
+  // alpha in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Add(double x);
+  double value() const { return value_; }
+  bool empty() const { return empty_; }
+  void Reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool empty_ = true;
+};
+
+// Fixed-size sliding window average / max, used for rate measurements over buckets.
+class WindowedStats {
+ public:
+  explicit WindowedStats(size_t capacity) : capacity_(capacity) {}
+
+  void Add(double x);
+  double Mean() const;
+  double Max() const;
+  size_t size() const { return window_.size(); }
+  bool full() const { return window_.size() == capacity_; }
+
+ private:
+  size_t capacity_;
+  std::deque<double> window_;
+};
+
+// Estimates the first-order rate of change of a series from successive samples;
+// used by the manager stub to extrapolate stale queue-length reports between
+// beacons (the fix for the oscillation described in paper §4.5).
+class DeltaEstimator {
+ public:
+  // Records an observation at the given time; returns nothing.
+  void Observe(double value, double time_s);
+
+  // Predicted value at `time_s` by linear extrapolation from the last observation.
+  // Falls back to the raw last value if fewer than two observations exist.
+  double Predict(double time_s) const;
+
+  double last_value() const { return last_value_; }
+  double slope_per_s() const { return slope_per_s_; }
+
+ private:
+  bool has_last_ = false;
+  bool has_slope_ = false;
+  double last_value_ = 0.0;
+  double last_time_s_ = 0.0;
+  double slope_per_s_ = 0.0;
+};
+
+}  // namespace sns
+
+#endif  // SRC_UTIL_STATS_H_

@@ -1,0 +1,111 @@
+// Exception-free error handling: Status and Result<T>.
+//
+// The library is built with the convention that fallible operations return a Status
+// (for side-effecting calls) or a Result<T> (for value-producing calls). This mirrors
+// the paper's BASE philosophy at the code level: callers are expected to handle
+// partial failure as a normal outcome, not an exceptional one.
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sns {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // Key, worker, or node absent.
+  kUnavailable,     // Transient failure: peer down, link saturated; retry may succeed.
+  kTimeout,         // Deadline expired (the paper's backstop failure detector).
+  kInvalidArgument, // Caller error.
+  kResourceExhausted,  // Queue full, cache full, no free nodes.
+  kFailedPrecondition, // Operation illegal in current state.
+  kCorruption,      // Stored or transmitted data failed validation.
+  kInternal,        // Bug.
+};
+
+// Human-readable name of a status code ("kOk" -> "OK").
+const char* StatusCodeName(StatusCode code);
+
+// A cheap, copyable success/error value with an optional message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "TIMEOUT: manager beacon lost".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status NotFoundError(std::string message);
+Status UnavailableError(std::string message);
+Status TimeoutError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status CorruptionError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T> holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeError(...);` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(value_).ok() && "Result<T> must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    return ok() ? kOkStatus : std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(value_) : fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace sns
+
+#endif  // SRC_UTIL_STATUS_H_

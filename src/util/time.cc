@@ -1,0 +1,46 @@
+#include "src/util/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sns {
+
+std::string FormatTime(SimTime t) {
+  bool negative = t < 0;
+  if (negative) {
+    t = -t;
+  }
+  int64_t total_ms = t / kMillisecond;
+  int64_t ms = total_ms % 1000;
+  int64_t total_s = total_ms / 1000;
+  int64_t s = total_s % 60;
+  int64_t total_m = total_s / 60;
+  int64_t m = total_m % 60;
+  int64_t h = total_m / 60;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%" PRId64 ":%02" PRId64 ":%02" PRId64 ".%03" PRId64,
+                negative ? "-" : "", h, m, s, ms);
+  return buf;
+}
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  double abs_d = static_cast<double>(d < 0 ? -d : d);
+  if (abs_d < static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", d);
+  } else if (abs_d < static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(d) / kMicrosecond);
+  } else if (abs_d < static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(d) / kMillisecond);
+  } else if (abs_d < static_cast<double>(kMinute)) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(d) / kSecond);
+  } else if (abs_d < static_cast<double>(kHour)) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", static_cast<double>(d) / kMinute);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fh", static_cast<double>(d) / kHour);
+  }
+  return buf;
+}
+
+}  // namespace sns

@@ -1,0 +1,60 @@
+// Simulated-time representation used throughout the library.
+//
+// All timing in the system flows from the discrete-event simulator, never from the
+// wall clock, so results are bit-for-bit reproducible. Time is an integer count of
+// nanoseconds to avoid floating-point drift in long runs.
+
+#ifndef SRC_UTIL_TIME_H_
+#define SRC_UTIL_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sns {
+
+// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+// A span of simulated time, in nanoseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+
+constexpr SimTime kTimeNever = INT64_MAX;
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n; }
+constexpr SimDuration Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Milliseconds(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kMillisecond));
+}
+constexpr SimDuration Seconds(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kSecond));
+}
+constexpr SimDuration Minutes(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kMinute));
+}
+constexpr SimDuration Hours(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kHour));
+}
+
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMilliseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+// Renders a time as "H:MM:SS.mmm" for logs and monitor output.
+std::string FormatTime(SimTime t);
+
+// Renders a duration compactly, picking an appropriate unit ("17ms", "2.5s").
+std::string FormatDuration(SimDuration d);
+
+}  // namespace sns
+
+#endif  // SRC_UTIL_TIME_H_

@@ -1,0 +1,46 @@
+#include "src/util/token_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sns {
+
+TokenBucket::TokenBucket(double rate_per_s, double burst)
+    : rate_per_s_(rate_per_s), burst_(burst), tokens_(burst) {}
+
+void TokenBucket::Refill(SimTime now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  double elapsed_s = ToSeconds(now - last_refill_);
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_per_s_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::TryTake(SimTime now, double tokens) {
+  Refill(now);
+  if (tokens_ + 1e-12 >= tokens) {
+    tokens_ -= tokens;
+    return true;
+  }
+  return false;
+}
+
+SimTime TokenBucket::NextAvailable(SimTime now, double tokens) {
+  Refill(now);
+  if (tokens_ + 1e-12 >= tokens) {
+    return now;
+  }
+  if (rate_per_s_ <= 0) {
+    return kTimeNever;
+  }
+  double deficit = tokens - tokens_;
+  return now + Seconds(deficit / rate_per_s_);
+}
+
+double TokenBucket::available(SimTime now) {
+  Refill(now);
+  return tokens_;
+}
+
+}  // namespace sns

@@ -1,0 +1,37 @@
+// Token bucket rate limiter over simulated time. Used by the playback engine's
+// constant-rate mode and by per-link pacing experiments.
+
+#ifndef SRC_UTIL_TOKEN_BUCKET_H_
+#define SRC_UTIL_TOKEN_BUCKET_H_
+
+#include "src/util/time.h"
+
+namespace sns {
+
+class TokenBucket {
+ public:
+  // rate_per_s tokens accrue per simulated second, up to `burst` stored tokens.
+  TokenBucket(double rate_per_s, double burst);
+
+  // Attempts to take `tokens` at time `now`; returns true on success.
+  bool TryTake(SimTime now, double tokens = 1.0);
+
+  // Earliest time at which `tokens` would be available (>= now).
+  SimTime NextAvailable(SimTime now, double tokens = 1.0);
+
+  void set_rate(double rate_per_s) { rate_per_s_ = rate_per_s; }
+  double rate() const { return rate_per_s_; }
+  double available(SimTime now);
+
+ private:
+  void Refill(SimTime now);
+
+  double rate_per_s_;
+  double burst_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+};
+
+}  // namespace sns
+
+#endif  // SRC_UTIL_TOKEN_BUCKET_H_

@@ -1,0 +1,182 @@
+#include "src/workload/playback.h"
+
+#include "src/util/logging.h"
+
+namespace sns {
+
+PlaybackEngine::PlaybackEngine(const PlaybackConfig& config)
+    : Process("playback"), config_(config), rng_(config.seed) {}
+
+void PlaybackEngine::OnStop() { StopLoad(); }
+
+void PlaybackEngine::StartConstantRate(double requests_per_second,
+                                       std::function<TraceRecord()> next) {
+  next_fn_ = std::move(next);
+  rate_ = requests_per_second;
+  if (rate_event_ == kInvalidEventId && rate_ > 0) {
+    rate_event_ = After(Seconds(1.0 / rate_), [this] { ConstantRateTick(); });
+  }
+}
+
+void PlaybackEngine::SetRate(double requests_per_second) { rate_ = requests_per_second; }
+
+void PlaybackEngine::StopLoad() {
+  if (rate_event_ != kInvalidEventId) {
+    CancelTimer(rate_event_);
+    rate_event_ = kInvalidEventId;
+  }
+  rate_ = 0;
+  trace_.clear();
+  trace_pos_ = 0;
+}
+
+void PlaybackEngine::ConstantRateTick() {
+  rate_event_ = kInvalidEventId;
+  if (rate_ <= 0 || !next_fn_) {
+    return;
+  }
+  SendRequest(next_fn_());
+  rate_event_ = After(Seconds(1.0 / rate_), [this] { ConstantRateTick(); });
+}
+
+void PlaybackEngine::PlayTrace(std::vector<TraceRecord> records, SimDuration lead_in) {
+  trace_ = std::move(records);
+  trace_pos_ = 0;
+  if (trace_.empty()) {
+    return;
+  }
+  trace_offset_ = sim()->now() + lead_in - trace_.front().time;
+  PlayNextFromTrace();
+}
+
+void PlaybackEngine::PlayNextFromTrace() {
+  if (trace_pos_ >= trace_.size()) {
+    trace_.clear();
+    return;
+  }
+  const TraceRecord& record = trace_[trace_pos_];
+  SimTime fire_at = record.time + trace_offset_;
+  SimDuration delay = fire_at > sim()->now() ? fire_at - sim()->now() : 0;
+  After(delay, [this] {
+    if (trace_pos_ < trace_.size()) {
+      SendRequest(trace_[trace_pos_]);
+      ++trace_pos_;
+      PlayNextFromTrace();
+    }
+  });
+}
+
+Endpoint PlaybackEngine::PickFrontEnd() {
+  if (!config_.front_ends) {
+    return Endpoint{};
+  }
+  std::vector<Endpoint> fes = config_.front_ends();
+  if (fes.empty()) {
+    return Endpoint{};
+  }
+  fe_rr_ = (fe_rr_ + 1) % fes.size();
+  return fes[fe_rr_];
+}
+
+void PlaybackEngine::SendRequest(const TraceRecord& record,
+                                 std::map<std::string, std::string> params) {
+  ++sent_;
+  Endpoint fe = PickFrontEnd();
+  if (!fe.valid()) {
+    ++send_failures_;  // No live front end at all right now.
+    return;
+  }
+  uint64_t id = next_request_id_++;
+  auto payload = std::make_shared<ClientRequestPayload>();
+  payload->client_request_id = id;
+  payload->url = record.url;
+  payload->user_id = record.user_id;
+  payload->params = record.params;
+  for (auto& [key, value] : params) {
+    payload->params[key] = std::move(value);
+  }
+
+  PendingRequest pending;
+  pending.sent_at = sim()->now();
+  pending.timeout = After(config_.request_timeout, [this, id] {
+    auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      pending_.erase(it);
+      ++timeouts_;
+    }
+  });
+  pending_[id] = pending;
+
+  Message msg;
+  msg.dst = fe;
+  msg.type = kMsgClientRequest;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = WireSizeOf(*payload);
+  msg.payload = payload;
+  San::SendOptions opts;
+  opts.on_failed = [this, id](const Message&) {
+    // The chosen front end is gone; client-side balancing will route the next
+    // request elsewhere. This one is counted as a failure.
+    auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      CancelTimer(it->second.timeout);
+      pending_.erase(it);
+      ++send_failures_;
+    }
+  };
+  Send(std::move(msg), std::move(opts));
+}
+
+void PlaybackEngine::OnMessage(const Message& msg) {
+  if (msg.type != kMsgClientResponse) {
+    return;
+  }
+  const auto& reply = static_cast<const ClientResponsePayload&>(*msg.payload);
+  auto it = pending_.find(reply.client_request_id);
+  if (it == pending_.end()) {
+    return;  // Already timed out.
+  }
+  double latency = ToSeconds(sim()->now() - it->second.sent_at);
+  CancelTimer(it->second.timeout);
+  pending_.erase(it);
+
+  ++completed_;
+  latency_s_.Add(latency);
+  latency_hist_.Add(latency);
+  ++by_source_[ResponseSourceName(reply.source)];
+  ++completions_sec_[sim()->now() / kSecond];
+  if (!reply.status.ok()) {
+    ++errors_;
+  }
+  if (reply.content != nullptr) {
+    bytes_received_ += reply.content->size();
+  }
+}
+
+double PlaybackEngine::RecentThroughput(SimDuration window) const {
+  if (window <= 0) {
+    return 0;
+  }
+  int64_t now_sec = sim()->now() / kSecond;
+  int64_t from_sec = now_sec - window / kSecond;
+  int64_t count = 0;
+  for (auto it = completions_sec_.lower_bound(from_sec); it != completions_sec_.end(); ++it) {
+    count += it->second;
+  }
+  return static_cast<double>(count) / ToSeconds(window);
+}
+
+void PlaybackEngine::ResetStats() {
+  sent_ = 0;
+  completed_ = 0;
+  errors_ = 0;
+  timeouts_ = 0;
+  send_failures_ = 0;
+  bytes_received_ = 0;
+  latency_s_ = RunningStats();
+  latency_hist_ = Histogram(0.0, 30.0, 3000);
+  by_source_.clear();
+  completions_sec_.clear();
+}
+
+}  // namespace sns

@@ -1,0 +1,52 @@
+#include "src/workload/size_model.h"
+
+#include <algorithm>
+
+namespace sns {
+
+MimeType SizeModel::SampleMime(Rng* rng) const {
+  double u = rng->NextDouble();
+  if (u < config_.gif_fraction) {
+    return MimeType::kGif;
+  }
+  u -= config_.gif_fraction;
+  if (u < config_.html_fraction) {
+    return MimeType::kHtml;
+  }
+  u -= config_.html_fraction;
+  if (u < config_.jpeg_fraction) {
+    return MimeType::kJpeg;
+  }
+  return MimeType::kOther;
+}
+
+int64_t SizeModel::SampleSize(MimeType mime, Rng* rng) const {
+  switch (mime) {
+    case MimeType::kHtml:
+      return Clamp(rng->LogNormal(config_.html_mu, config_.html_sigma));
+    case MimeType::kGif:
+      if (rng->NextDouble() < config_.gif_icon_fraction) {
+        return Clamp(rng->LogNormal(config_.gif_icon_mu, config_.gif_icon_sigma));
+      }
+      return Clamp(rng->LogNormal(config_.gif_photo_mu, config_.gif_photo_sigma));
+    case MimeType::kJpeg:
+      return Clamp(rng->LogNormal(config_.jpeg_mu, config_.jpeg_sigma));
+    case MimeType::kOther:
+      return Clamp(rng->LogNormal(config_.other_mu, config_.other_sigma));
+  }
+  return config_.min_bytes;
+}
+
+bool SizeModel::SampleErrorPage(MimeType mime, Rng* rng) const {
+  if (mime != MimeType::kGif && mime != MimeType::kJpeg) {
+    return false;
+  }
+  return rng->NextDouble() < config_.error_page_fraction;
+}
+
+int64_t SizeModel::Clamp(double bytes) const {
+  auto b = static_cast<int64_t>(bytes);
+  return std::clamp(b, config_.min_bytes, config_.max_bytes);
+}
+
+}  // namespace sns

@@ -1,0 +1,80 @@
+#include "src/workload/trace.h"
+
+#include <cmath>
+
+#include "src/util/strings.h"
+
+namespace sns {
+
+TraceGenerator::TraceGenerator(const TraceGenConfig& config, const ContentUniverse* universe)
+    : config_(config), universe_(universe) {}
+
+int64_t TraceGenerator::Generate(const std::function<void(const TraceRecord&)>& emit) {
+  Rng rng(config_.seed);
+  Rng url_rng = rng.Fork();
+  Rng user_rng = rng.Fork();
+
+  // Normalize the lognormal modulators to unit mean: E[exp(X)] = exp(sigma_st^2/2)
+  // for the stationary X ~ N(0, sigma_st^2) with sigma_st^2 = sigma^2/(1-rho^2)...
+  // Here the step noise has stddev sigma*sqrt(1-rho^2), making the stationary
+  // stddev exactly sigma, so subtract sigma^2/2.
+  double slow_x = 0.0;
+  double fast_x = 0.0;
+  double slow_correction = config_.slow_sigma * config_.slow_sigma / 2.0;
+  double fast_correction = config_.fast_sigma * config_.fast_sigma / 2.0;
+
+  int64_t total_seconds = config_.duration / kSecond;
+  int64_t generated = 0;
+  for (int64_t sec = 0; sec < total_seconds; ++sec) {
+    if (sec % 60 == 0) {
+      double noise = rng.Normal(0.0, config_.slow_sigma *
+                                         std::sqrt(1.0 - config_.slow_rho * config_.slow_rho));
+      slow_x = config_.slow_rho * slow_x + noise;
+    }
+    double fast_noise = rng.Normal(0.0, config_.fast_sigma *
+                                            std::sqrt(1.0 - config_.fast_rho * config_.fast_rho));
+    fast_x = config_.fast_rho * fast_x + fast_noise;
+
+    double t_frac = static_cast<double>(sec * kSecond) / static_cast<double>(config_.diurnal_period);
+    // Trough in the early morning, peak in the evening (paper Fig. 6a).
+    double diurnal = 1.0 + config_.diurnal_amplitude * std::sin(2.0 * M_PI * t_frac - M_PI / 2);
+    double rate = config_.mean_rate * diurnal * std::exp(slow_x - slow_correction) *
+                  std::exp(fast_x - fast_correction);
+    int64_t count = rng.Poisson(rate);
+    for (int64_t i = 0; i < count; ++i) {
+      TraceRecord record;
+      record.time = sec * kSecond + rng.UniformInt(0, kSecond - 1);
+      int64_t user = user_rng.Zipf(config_.user_count, config_.user_zipf_skew);
+      record.user_id = StrFormat("user%lld", static_cast<long long>(user));
+      record.url = universe_ != nullptr ? universe_->SamplePopularUrl(&url_rng)
+                                        : StrFormat("http://example.edu/obj%lld.html",
+                                                    static_cast<long long>(i));
+      emit(record);
+      ++generated;
+    }
+  }
+  return generated;
+}
+
+std::vector<TraceRecord> TraceGenerator::GenerateVector() {
+  std::vector<TraceRecord> records;
+  Generate([&records](const TraceRecord& r) { records.push_back(r); });
+  // Within-second timestamps are random; sort so playback sees ordered times.
+  std::sort(records.begin(), records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) { return a.time < b.time; });
+  return records;
+}
+
+std::vector<int64_t> BucketCounts(const std::vector<SimTime>& times, SimDuration bucket,
+                                  SimDuration total) {
+  auto buckets = static_cast<size_t>((total + bucket - 1) / bucket);
+  std::vector<int64_t> counts(buckets, 0);
+  for (SimTime t : times) {
+    if (t >= 0 && t < total) {
+      ++counts[static_cast<size_t>(t / bucket)];
+    }
+  }
+  return counts;
+}
+
+}  // namespace sns

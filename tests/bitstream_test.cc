@@ -1,0 +1,148 @@
+// Tests for the bit-level I/O used by the codecs.
+
+#include <gtest/gtest.h>
+
+#include "src/content/bitstream.h"
+#include "src/util/rng.h"
+
+namespace sns {
+namespace {
+
+TEST(BitStreamTest, BitsRoundTripLsbFirst) {
+  BitWriter writer;
+  writer.WriteBits(0b101, 3);
+  writer.WriteBits(0b1, 1);
+  writer.WriteBits(0xAB, 8);
+  std::vector<uint8_t> bytes = writer.Finish();
+  BitReader reader(bytes.data(), bytes.size());
+  EXPECT_EQ(reader.ReadBits(3), 0b101u);
+  EXPECT_EQ(reader.ReadBits(1), 0b1u);
+  EXPECT_EQ(reader.ReadBits(8), 0xABu);
+  EXPECT_FALSE(reader.error());
+}
+
+TEST(BitStreamTest, ByteAndWordHelpers) {
+  BitWriter writer;
+  writer.WriteByte(0x12);
+  writer.WriteU16(0x3456);
+  writer.WriteU32(0x789ABCDE);
+  std::vector<uint8_t> bytes = writer.Finish();
+  BitReader reader(bytes.data(), bytes.size());
+  EXPECT_EQ(reader.ReadByte(), 0x12);
+  EXPECT_EQ(reader.ReadU16(), 0x3456);
+  EXPECT_EQ(reader.ReadU32(), 0x789ABCDEu);
+}
+
+TEST(BitStreamTest, PartialByteZeroPadded) {
+  BitWriter writer;
+  writer.WriteBits(0b11, 2);
+  std::vector<uint8_t> bytes = writer.Finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b11);
+}
+
+TEST(BitStreamTest, UnderrunSetsErrorAndReturnsZero) {
+  std::vector<uint8_t> one = {0xFF};
+  BitReader reader(one.data(), one.size());
+  EXPECT_EQ(reader.ReadBits(8), 0xFFu);
+  EXPECT_FALSE(reader.error());
+  EXPECT_EQ(reader.ReadBits(1), 0u);
+  EXPECT_TRUE(reader.error());
+}
+
+TEST(BitStreamTest, BitCountTracksWrites) {
+  BitWriter writer;
+  writer.WriteBits(0, 5);
+  EXPECT_EQ(writer.bit_count(), 5u);
+  writer.WriteByte(0);
+  EXPECT_EQ(writer.bit_count(), 13u);
+}
+
+TEST(GolombTest, SmallValuesRoundTrip) {
+  BitWriter writer;
+  for (uint32_t v = 0; v < 300; ++v) {
+    writer.WriteGolomb(v);
+  }
+  std::vector<uint8_t> bytes = writer.Finish();
+  BitReader reader(bytes.data(), bytes.size());
+  for (uint32_t v = 0; v < 300; ++v) {
+    EXPECT_EQ(reader.ReadGolomb(), v);
+  }
+  EXPECT_FALSE(reader.error());
+}
+
+TEST(GolombTest, SignedMappingRoundTrips) {
+  BitWriter writer;
+  for (int32_t v = -200; v <= 200; ++v) {
+    writer.WriteSignedGolomb(v);
+  }
+  std::vector<uint8_t> bytes = writer.Finish();
+  BitReader reader(bytes.data(), bytes.size());
+  for (int32_t v = -200; v <= 200; ++v) {
+    EXPECT_EQ(reader.ReadSignedGolomb(), v);
+  }
+}
+
+TEST(GolombTest, SmallValuesAreShort) {
+  BitWriter w0;
+  w0.WriteGolomb(0);
+  EXPECT_EQ(w0.bit_count(), 1u);  // "1"
+  BitWriter w2;
+  w2.WriteGolomb(2);
+  EXPECT_EQ(w2.bit_count(), 3u);
+}
+
+// Property sweep: random interleavings of all primitive writes round-trip.
+class BitstreamFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitstreamFuzz, RandomInterleavedRoundTrip) {
+  Rng rng(GetParam());
+  struct Op {
+    int kind;
+    uint32_t value;
+    int bits;
+  };
+  std::vector<Op> ops;
+  BitWriter writer;
+  for (int i = 0; i < 2000; ++i) {
+    Op op;
+    op.kind = static_cast<int>(rng.UniformInt(0, 2));
+    switch (op.kind) {
+      case 0:
+        op.bits = static_cast<int>(rng.UniformInt(1, 24));
+        op.value = static_cast<uint32_t>(rng.Next()) & ((1u << op.bits) - 1);
+        writer.WriteBits(op.value, op.bits);
+        break;
+      case 1:
+        op.value = static_cast<uint32_t>(rng.UniformInt(0, 100000));
+        writer.WriteGolomb(op.value);
+        break;
+      case 2:
+        op.value = static_cast<uint32_t>(rng.UniformInt(-50000, 50000));
+        writer.WriteSignedGolomb(static_cast<int32_t>(op.value));
+        break;
+    }
+    ops.push_back(op);
+  }
+  std::vector<uint8_t> bytes = writer.Finish();
+  BitReader reader(bytes.data(), bytes.size());
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case 0:
+        ASSERT_EQ(reader.ReadBits(op.bits), op.value);
+        break;
+      case 1:
+        ASSERT_EQ(reader.ReadGolomb(), op.value);
+        break;
+      case 2:
+        ASSERT_EQ(reader.ReadSignedGolomb(), static_cast<int32_t>(op.value));
+        break;
+    }
+  }
+  EXPECT_FALSE(reader.error());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitstreamFuzz, ::testing::Values(1u, 2u, 3u, 7u, 42u));
+
+}  // namespace
+}  // namespace sns

@@ -1,0 +1,130 @@
+// Tests for HTML generation, scanning, the TranSend munger, and keyword
+// highlighting.
+
+#include <gtest/gtest.h>
+
+#include "src/content/html.h"
+#include "src/content/mime.h"
+
+namespace sns {
+namespace {
+
+TEST(MimeTest, FromUrl) {
+  EXPECT_EQ(MimeTypeFromUrl("http://x/a.html"), MimeType::kHtml);
+  EXPECT_EQ(MimeTypeFromUrl("http://x/a.HTM"), MimeType::kHtml);
+  EXPECT_EQ(MimeTypeFromUrl("http://x/dir/"), MimeType::kHtml);
+  EXPECT_EQ(MimeTypeFromUrl("http://x/a.gif"), MimeType::kGif);
+  EXPECT_EQ(MimeTypeFromUrl("http://x/a.JPG"), MimeType::kJpeg);
+  EXPECT_EQ(MimeTypeFromUrl("http://x/a.jpeg?b=1"), MimeType::kJpeg);
+  EXPECT_EQ(MimeTypeFromUrl("http://x/a.tar"), MimeType::kOther);
+  EXPECT_STREQ(MimeTypeName(MimeType::kGif), "image/gif");
+}
+
+TEST(HtmlGenTest, GeneratedPageHasRequestedStructure) {
+  Rng rng(21);
+  HtmlGenOptions options;
+  options.paragraphs = 4;
+  options.inline_images = 3;
+  options.links = 2;
+  std::string page = GenerateHtmlPage(&rng, options);
+  EXPECT_NE(page.find("<html>"), std::string::npos);
+  EXPECT_EQ(ExtractImageRefs(page).size(), 3u);
+  EXPECT_LE(ExtractLinks(page).size(), 2u);
+}
+
+TEST(HtmlGenTest, DeterministicForSeed) {
+  Rng a(5);
+  Rng b(5);
+  HtmlGenOptions options;
+  EXPECT_EQ(GenerateHtmlPage(&a, options), GenerateHtmlPage(&b, options));
+}
+
+TEST(HtmlScanTest, ParsesAttributesWithMixedQuoting) {
+  std::string html = "<img src=\"a.gif\" alt='pic' width=40><a HREF=\"x.html\">t</a>";
+  auto tags = ScanTags(html);
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(tags[0].name, "img");
+  EXPECT_EQ(TagAttr(tags[0], "src"), "a.gif");
+  EXPECT_EQ(TagAttr(tags[0], "alt"), "pic");
+  EXPECT_EQ(TagAttr(tags[0], "width"), "40");
+  EXPECT_EQ(tags[1].name, "a");
+  EXPECT_EQ(TagAttr(tags[1], "href"), "x.html");  // Attribute names lowercased.
+  EXPECT_EQ(tags[2].name, "/a");
+}
+
+TEST(HtmlScanTest, ToleratesStrayAngleBracket) {
+  std::string html = "a < b and <b>bold</b>";
+  auto tags = ScanTags(html);
+  // "< b and <b>" parses as one weird tag, then "/b"; no crash, no hang.
+  EXPECT_GE(tags.size(), 1u);
+  EXPECT_EQ(StripTags("<p>x</p>"), " x ");
+}
+
+TEST(HtmlScanTest, StripTagsKeepsText) {
+  std::string text = StripTags("<html><body><h1>Title</h1><p>hello world</p></body></html>");
+  EXPECT_NE(text.find("Title"), std::string::npos);
+  EXPECT_NE(text.find("hello world"), std::string::npos);
+  EXPECT_EQ(text.find("<"), std::string::npos);
+}
+
+TEST(MungeTest, AddsToolbarAfterBody) {
+  std::string html = "<html><body><p>content</p></body></html>";
+  MungeOptions options;
+  std::string munged = MungeHtml(html, options);
+  size_t body = munged.find("<body>");
+  size_t toolbar = munged.find("transend-toolbar");
+  ASSERT_NE(toolbar, std::string::npos);
+  EXPECT_LT(body, toolbar);
+  EXPECT_LT(toolbar, munged.find("<p>content</p>"));
+}
+
+TEST(MungeTest, RewritesImageSrcsThroughProxyWithOriginalLinks) {
+  std::string html = "<body><img src=\"http://cnn.com/pic.gif\" alt=\"x\"></body>";
+  MungeOptions options;
+  std::string munged = MungeHtml(html, options);
+  EXPECT_NE(munged.find(options.proxy_prefix + "http://cnn.com/pic.gif"), std::string::npos);
+  EXPECT_NE(munged.find("<a href=\"http://cnn.com/pic.gif\">[original]</a>"),
+            std::string::npos);
+  EXPECT_NE(munged.find("alt=\"x\""), std::string::npos);  // Other attrs preserved.
+}
+
+TEST(MungeTest, OptionsDisableFeatures) {
+  std::string html = "<body><img src=\"a.gif\"></body>";
+  MungeOptions options;
+  options.add_toolbar = false;
+  options.add_original_links = false;
+  std::string munged = MungeHtml(html, options);
+  EXPECT_EQ(munged.find("transend-toolbar"), std::string::npos);
+  EXPECT_EQ(munged.find("[original]"), std::string::npos);
+  EXPECT_NE(munged.find(options.proxy_prefix), std::string::npos);
+}
+
+TEST(MungeTest, PageWithoutBodyGetsToolbarAtTop) {
+  std::string munged = MungeHtml("<p>bare fragment</p>", MungeOptions{});
+  ASSERT_NE(munged.find("transend-toolbar"), std::string::npos);
+  EXPECT_LT(munged.find("transend-toolbar"), munged.find("bare fragment"));
+}
+
+TEST(HighlightTest, WrapsWholeWordsCaseInsensitively) {
+  std::string html = "<p>Cluster clusters CLUSTER</p>";
+  std::string out = HighlightKeyword(html, "cluster", "<b>", "</b>");
+  EXPECT_NE(out.find("<b>Cluster</b>"), std::string::npos);
+  EXPECT_NE(out.find("<b>CLUSTER</b>"), std::string::npos);
+  // "clusters" is a different word: not wrapped.
+  EXPECT_EQ(out.find("<b>clusters</b>"), std::string::npos);
+}
+
+TEST(HighlightTest, SkipsTextInsideTags) {
+  std::string html = "<a href=\"cluster.html\">cluster</a>";
+  std::string out = HighlightKeyword(html, "cluster", "<b>", "</b>");
+  EXPECT_NE(out.find("href=\"cluster.html\""), std::string::npos);  // Untouched.
+  EXPECT_NE(out.find("<b>cluster</b>"), std::string::npos);
+}
+
+TEST(HighlightTest, EmptyKeywordIsIdentity) {
+  std::string html = "<p>x</p>";
+  EXPECT_EQ(HighlightKeyword(html, "", "<b>", "</b>"), html);
+}
+
+}  // namespace
+}  // namespace sns

@@ -1,0 +1,167 @@
+// Unit tests for the manager stub: beacon caching, lottery scheduling, queue-delta
+// extrapolation, in-flight tracking, dead-worker handling, and liveness detection.
+
+#include <gtest/gtest.h>
+
+#include "src/sns/manager_stub.h"
+
+namespace sns {
+namespace {
+
+ManagerBeaconPayload MakeBeacon(Endpoint manager, uint64_t seq,
+                                std::vector<std::tuple<Endpoint, std::string, double>> hints) {
+  ManagerBeaconPayload beacon;
+  beacon.manager = manager;
+  beacon.beacon_seq = seq;
+  for (auto& [ep, type, queue] : hints) {
+    WorkerHint hint;
+    hint.endpoint = ep;
+    hint.worker_type = type;
+    hint.smoothed_queue = queue;
+    beacon.workers.push_back(hint);
+  }
+  return beacon;
+}
+
+class ManagerStubTest : public ::testing::Test {
+ protected:
+  ManagerStubTest() : rng_(7), stub_(SnsConfig{}, &rng_) {}
+
+  Rng rng_;
+  ManagerStub stub_;
+  Endpoint manager_{0, 1};
+  Endpoint w1_{1, 10};
+  Endpoint w2_{2, 20};
+};
+
+TEST_F(ManagerStubTest, LearnsManagerAndWorkersFromBeacon) {
+  EXPECT_FALSE(stub_.ManagerKnown());
+  stub_.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "distill", 1.0}}), Seconds(1));
+  EXPECT_TRUE(stub_.ManagerKnown());
+  EXPECT_EQ(stub_.manager(), manager_);
+  EXPECT_EQ(stub_.KnownWorkerCount("distill"), 1u);
+  EXPECT_EQ(stub_.KnownWorkerCount("other"), 0u);
+  EXPECT_EQ(stub_.beacons_seen(), 1u);
+}
+
+TEST_F(ManagerStubTest, PickWorkerReturnsOnlyMatchingType) {
+  stub_.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "a", 0.0}, {w2_, "b", 0.0}}), Seconds(1));
+  for (int i = 0; i < 20; ++i) {
+    auto picked = stub_.PickWorker("a", Seconds(1));
+    ASSERT_TRUE(picked.has_value());
+    EXPECT_EQ(*picked, w1_);
+  }
+  EXPECT_FALSE(stub_.PickWorker("ghost", Seconds(1)).has_value());
+}
+
+TEST_F(ManagerStubTest, LotteryFavorsShorterQueues) {
+  stub_.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "d", 0.0}, {w2_, "d", 9.0}}), Seconds(1));
+  int w1_picks = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (*stub_.PickWorker("d", Seconds(1)) == w1_) {
+      ++w1_picks;
+    }
+  }
+  // Weights 1 vs 0.1: expect ~91% for w1.
+  EXPECT_GT(w1_picks, 1600);
+  EXPECT_LT(w1_picks, 2000);
+}
+
+TEST_F(ManagerStubTest, InflightTrackingShiftsLottery) {
+  stub_.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "d", 0.0}, {w2_, "d", 0.0}}), Seconds(1));
+  for (int i = 0; i < 30; ++i) {
+    stub_.NoteTaskSent(w1_);
+  }
+  EXPECT_NEAR(stub_.PredictedQueue(w1_, Seconds(1)), 30.0, 1e-9);
+  int w2_picks = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (*stub_.PickWorker("d", Seconds(1)) == w2_) {
+      ++w2_picks;
+    }
+  }
+  EXPECT_GT(w2_picks, 900);
+  for (int i = 0; i < 30; ++i) {
+    stub_.NoteTaskDone(w1_);
+  }
+  EXPECT_NEAR(stub_.PredictedQueue(w1_, Seconds(1)), 0.0, 1e-9);
+}
+
+TEST_F(ManagerStubTest, DeltaEstimationExtrapolatesBetweenBeacons) {
+  stub_.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "d", 2.0}}), Seconds(1));
+  stub_.OnBeacon(MakeBeacon(manager_, 2, {{w1_, "d", 6.0}}), Seconds(2));  // +4/s.
+  EXPECT_NEAR(stub_.PredictedQueue(w1_, Seconds(3)), 10.0, 1e-6);
+  EXPECT_NEAR(stub_.PredictedQueue(w1_, Seconds(2) + Milliseconds(500.0)), 8.0, 1e-6);
+}
+
+TEST_F(ManagerStubTest, DeltaEstimationCanBeDisabled) {
+  SnsConfig config;
+  config.use_delta_estimation = false;
+  config.track_inflight_tasks = false;
+  ManagerStub raw(config, &rng_);
+  raw.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "d", 2.0}}), Seconds(1));
+  raw.OnBeacon(MakeBeacon(manager_, 2, {{w1_, "d", 6.0}}), Seconds(2));
+  raw.NoteTaskSent(w1_);
+  EXPECT_NEAR(raw.PredictedQueue(w1_, Seconds(3)), 6.0, 1e-9);  // Raw stale hint.
+}
+
+TEST_F(ManagerStubTest, WorkerMissingFromBeaconIsDropped) {
+  stub_.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "d", 0.0}, {w2_, "d", 0.0}}), Seconds(1));
+  EXPECT_EQ(stub_.KnownWorkerCount("d"), 2u);
+  stub_.OnBeacon(MakeBeacon(manager_, 2, {{w2_, "d", 0.0}}), Seconds(2));
+  EXPECT_EQ(stub_.KnownWorkerCount("d"), 1u);
+  EXPECT_EQ(stub_.WorkersOfType("d"), (std::vector<Endpoint>{w2_}));
+}
+
+TEST_F(ManagerStubTest, NoteWorkerDeadRemovesLocally) {
+  stub_.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "d", 0.0}}), Seconds(1));
+  EXPECT_TRUE(stub_.NoteWorkerDead(w1_));
+  EXPECT_FALSE(stub_.NoteWorkerDead(w1_));
+  EXPECT_FALSE(stub_.PickWorker("d", Seconds(1)).has_value());
+}
+
+TEST_F(ManagerStubTest, ManagerLivenessTracksBeaconSilence) {
+  SnsConfig config;
+  EXPECT_EQ(stub_.BeaconSilence(Seconds(100)), kTimeNever);
+  EXPECT_FALSE(stub_.ManagerSuspectedDead(Seconds(100)));  // Never heard: not dead.
+  stub_.OnBeacon(MakeBeacon(manager_, 1, {}), Seconds(100));
+  EXPECT_EQ(stub_.BeaconSilence(Seconds(102)), Seconds(2));
+  EXPECT_FALSE(stub_.ManagerSuspectedDead(Seconds(102)));
+  EXPECT_TRUE(stub_.ManagerSuspectedDead(Seconds(100) + config.manager_silence_restart +
+                                         Seconds(1)));
+}
+
+TEST_F(ManagerStubTest, NewManagerIncarnationReplacesOld) {
+  stub_.OnBeacon(MakeBeacon(manager_, 5, {{w1_, "d", 1.0}}), Seconds(1));
+  Endpoint new_manager{3, 30};
+  stub_.OnBeacon(MakeBeacon(new_manager, 1, {{w2_, "d", 0.0}}), Seconds(10));
+  EXPECT_EQ(stub_.manager(), new_manager);
+  EXPECT_EQ(stub_.WorkersOfType("d"), (std::vector<Endpoint>{w2_}));
+}
+
+TEST_F(ManagerStubTest, CacheNodesAndProfileDbComeFromBeacon) {
+  ManagerBeaconPayload beacon = MakeBeacon(manager_, 1, {});
+  beacon.cache_nodes = {{5, 50}, {4, 40}};
+  beacon.profile_db = Endpoint{6, 60};
+  stub_.OnBeacon(beacon, Seconds(1));
+  ASSERT_EQ(stub_.cache_nodes().size(), 2u);
+  // Sorted for deterministic key hashing.
+  EXPECT_EQ(stub_.cache_nodes()[0].node, 4);
+  EXPECT_EQ(stub_.profile_db(), (Endpoint{6, 60}));
+}
+
+TEST_F(ManagerStubTest, RoundRobinPolicyRotates) {
+  SnsConfig config;
+  config.balance_policy = BalancePolicy::kRoundRobin;
+  ManagerStub rr(config, &rng_);
+  rr.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "d", 0.0}, {w2_, "d", 50.0}}), Seconds(1));
+  int w1_picks = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (*rr.PickWorker("d", Seconds(1)) == w1_) {
+      ++w1_picks;
+    }
+  }
+  EXPECT_EQ(w1_picks, 50);  // Ignores load entirely.
+}
+
+}  // namespace
+}  // namespace sns

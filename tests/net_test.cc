@@ -1,0 +1,294 @@
+// Tests for the SAN model: delivery, serialization delay, saturation drops,
+// multicast, connection setup, partitions, and fail-fast semantics.
+
+#include <gtest/gtest.h>
+
+#include "src/net/san.h"
+#include "src/sim/simulator.h"
+
+namespace sns {
+namespace {
+
+struct TestPayload : Payload {
+  int value = 0;
+};
+
+Message MakeMessage(Endpoint src, Endpoint dst, int value, int64_t size,
+                    Transport transport = Transport::kReliable) {
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.type = 1;
+  msg.size_bytes = size;
+  msg.transport = transport;
+  auto payload = std::make_shared<TestPayload>();
+  payload->value = value;
+  msg.payload = payload;
+  return msg;
+}
+
+class SanTest : public ::testing::Test {
+ protected:
+  SanTest() : san_(&sim_, SanConfig{}) {
+    san_.AddNode(0);
+    san_.AddNode(1);
+    san_.AddNode(2);
+  }
+
+  void Bind(Endpoint ep, std::vector<int>* sink) {
+    san_.Bind(ep, [sink](const Message& msg) {
+      sink->push_back(static_cast<const TestPayload&>(*msg.payload).value);
+    });
+  }
+
+  Simulator sim_;
+  San san_;
+};
+
+TEST_F(SanTest, DeliversReliableMessage) {
+  std::vector<int> received;
+  Endpoint dst{1, 10};
+  Bind(dst, &received);
+  san_.Send(MakeMessage({0, 1}, dst, 42, 1000));
+  sim_.Run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], 42);
+  EXPECT_EQ(san_.messages_delivered(), 1);
+}
+
+TEST_F(SanTest, DeliveryTakesSerializationPlusLatency) {
+  std::vector<int> received;
+  Endpoint dst{1, 10};
+  SimTime delivered_at = 0;
+  san_.Bind(dst, [&](const Message&) { delivered_at = sim_.now(); });
+  // 100 Mb/s: 125000 bytes = 10 ms serialization per link, twice (egress+ingress).
+  san_.Send(MakeMessage({0, 1}, dst, 1, 125000));
+  sim_.Run();
+  EXPECT_GT(delivered_at, 2 * Milliseconds(10.0));
+  EXPECT_LT(delivered_at, Milliseconds(40.0));
+}
+
+TEST_F(SanTest, ReliableFirstMessagePaysConnectionSetup) {
+  Endpoint dst{1, 10};
+  SimTime first = 0;
+  SimTime second = 0;
+  int count = 0;
+  san_.Bind(dst, [&](const Message&) {
+    if (++count == 1) {
+      first = sim_.now();
+    } else {
+      second = sim_.now();
+    }
+  });
+  san_.Send(MakeMessage({0, 1}, dst, 1, 100));
+  sim_.Run();
+  SimTime t0 = sim_.now();
+  san_.Send(MakeMessage({0, 1}, dst, 2, 100));
+  sim_.Run();
+  SimDuration first_latency = first;
+  SimDuration second_latency = second - t0;
+  // Setup cost (default 1 ms) applies only to the first send on the pair.
+  EXPECT_GT(first_latency, second_latency + Microseconds(800));
+}
+
+TEST_F(SanTest, ForceNewConnectionAlwaysPaysSetup) {
+  Endpoint dst{1, 10};
+  std::vector<SimTime> deliveries;
+  san_.Bind(dst, [&](const Message&) { deliveries.push_back(sim_.now()); });
+  San::SendOptions opts;
+  opts.force_new_connection = true;
+  san_.Send(MakeMessage({0, 1}, dst, 1, 100), opts);
+  sim_.Run();
+  SimTime t0 = sim_.now();
+  san_.Send(MakeMessage({0, 1}, dst, 2, 100), opts);
+  sim_.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  // Both pay setup: similar latencies.
+  EXPECT_NEAR(static_cast<double>(deliveries[0]),
+              static_cast<double>(deliveries[1] - t0), static_cast<double>(Microseconds(200)));
+}
+
+TEST_F(SanTest, ReliableToUnboundEndpointFailsFast) {
+  bool failed = false;
+  San::SendOptions opts;
+  opts.on_failed = [&](const Message&) { failed = true; };
+  san_.Send(MakeMessage({0, 1}, {1, 99}, 1, 100), opts);
+  sim_.Run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(san_.reliable_failed_fast(), 1);
+}
+
+TEST_F(SanTest, DatagramToUnboundEndpointSilentlyLost) {
+  bool failed = false;
+  San::SendOptions opts;
+  opts.on_failed = [&](const Message&) { failed = true; };
+  san_.Send(MakeMessage({0, 1}, {1, 99}, 1, 100, Transport::kDatagram), opts);
+  sim_.Run();
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(san_.messages_lost_unreachable(), 1);
+}
+
+TEST_F(SanTest, DatagramsDropUnderSaturationButReliableQueues) {
+  // Tiny link: 1 Mb/s with a 10 ms datagram queue bound.
+  LinkConfig slow;
+  slow.bandwidth_bps = 1e6;
+  slow.max_datagram_queue_delay = Milliseconds(10.0);
+  san_.SetNodeLinkConfig(0, slow);
+
+  std::vector<int> received;
+  Endpoint dst{1, 10};
+  Bind(dst, &received);
+  // 20 datagrams of 10 KB each: 80 ms serialization each; queue bound exceeded.
+  for (int i = 0; i < 20; ++i) {
+    san_.Send(MakeMessage({0, 1}, dst, i, 10000, Transport::kDatagram));
+  }
+  sim_.Run();
+  EXPECT_LT(received.size(), 20u);
+  EXPECT_GT(san_.datagrams_dropped(), 0);
+
+  // The same burst via reliable transport all arrives (backpressure, no loss).
+  received.clear();
+  for (int i = 0; i < 20; ++i) {
+    san_.Send(MakeMessage({0, 1}, dst, i, 10000, Transport::kReliable));
+  }
+  sim_.Run();
+  EXPECT_EQ(received.size(), 20u);
+}
+
+TEST_F(SanTest, MulticastReachesAllSubscribersExceptSender) {
+  std::vector<int> a;
+  std::vector<int> b;
+  std::vector<int> self;
+  Bind({1, 10}, &a);
+  Bind({2, 20}, &b);
+  Bind({0, 1}, &self);
+  san_.JoinGroup(7, {1, 10});
+  san_.JoinGroup(7, {2, 20});
+  san_.JoinGroup(7, {0, 1});  // The sender itself.
+  EXPECT_EQ(san_.GroupSize(7), 3u);
+
+  Message msg = MakeMessage({0, 1}, {}, 5, 200, Transport::kDatagram);
+  san_.SendMulticast(7, std::move(msg));
+  sim_.Run();
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(self.empty());
+}
+
+TEST_F(SanTest, LeaveGroupStopsDelivery) {
+  std::vector<int> a;
+  Bind({1, 10}, &a);
+  san_.JoinGroup(7, {1, 10});
+  san_.LeaveGroup(7, {1, 10});
+  san_.SendMulticast(7, MakeMessage({0, 1}, {}, 5, 200, Transport::kDatagram));
+  sim_.Run();
+  EXPECT_TRUE(a.empty());
+}
+
+TEST_F(SanTest, PartitionBlocksTrafficAndHeals) {
+  std::vector<int> received;
+  Endpoint dst{1, 10};
+  Bind(dst, &received);
+  san_.SetPartition(1, 1);
+  EXPECT_FALSE(san_.Reachable(0, 1));
+  EXPECT_TRUE(san_.Reachable(0, 2));
+  san_.Send(MakeMessage({0, 1}, dst, 1, 100));
+  sim_.Run();
+  EXPECT_TRUE(received.empty());
+
+  san_.HealPartitions();
+  san_.Send(MakeMessage({0, 1}, dst, 2, 100));
+  sim_.Run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], 2);
+}
+
+TEST_F(SanTest, DownNodeNeitherSendsNorReceives) {
+  std::vector<int> received;
+  Endpoint dst{1, 10};
+  Bind(dst, &received);
+  san_.SetNodeUp(1, false);
+  san_.Send(MakeMessage({0, 1}, dst, 1, 100));
+  sim_.Run();
+  EXPECT_TRUE(received.empty());
+
+  san_.SetNodeUp(0, false);
+  san_.SetNodeUp(1, true);
+  san_.Send(MakeMessage({0, 1}, dst, 2, 100));
+  sim_.Run();
+  EXPECT_TRUE(received.empty());
+}
+
+TEST_F(SanTest, UnbindTearsDownConnectionsSoNextSendFailsFast) {
+  std::vector<int> received;
+  Endpoint dst{1, 10};
+  Bind(dst, &received);
+  san_.Send(MakeMessage({0, 1}, dst, 1, 100));
+  sim_.Run();
+  ASSERT_EQ(received.size(), 1u);
+
+  san_.Unbind(dst);
+  bool failed = false;
+  San::SendOptions opts;
+  opts.on_failed = [&](const Message&) { failed = true; };
+  san_.Send(MakeMessage({0, 1}, dst, 2, 100), opts);
+  sim_.Run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(SanTest, LinkStatsAccumulate) {
+  Endpoint dst{1, 10};
+  std::vector<int> received;
+  Bind(dst, &received);
+  san_.Send(MakeMessage({0, 1}, dst, 1, 5000));
+  sim_.Run();
+  EXPECT_GT(san_.egress(0)->bytes_sent(), 5000);  // Payload + handshake.
+  EXPECT_GT(san_.egress(0)->busy_time(), 0);
+  EXPECT_GE(san_.ingress(1)->messages_sent(), 1);
+  EXPECT_GT(san_.egress(0)->Utilization(sim_.now()), 0.0);
+}
+
+TEST_F(SanTest, UnbindAutoLeavesMulticastGroups) {
+  std::vector<int> received;
+  Bind({1, 10}, &received);
+  san_.JoinGroup(7, {1, 10});
+  EXPECT_EQ(san_.GroupSize(7), 1u);
+  san_.Unbind({1, 10});
+  EXPECT_EQ(san_.GroupSize(7), 0u);
+}
+
+TEST_F(SanTest, MulticastDropsPerSubscriberUnderReceiverSaturation) {
+  // Saturate one subscriber's ingress with bulk traffic from a third node; the
+  // other subscriber keeps receiving every beacon (per-subscriber best effort).
+  san_.AddNode(3);
+  LinkConfig tiny;
+  tiny.bandwidth_bps = 1e6;
+  tiny.max_datagram_queue_delay = Milliseconds(5.0);
+  san_.SetNodeLinkConfig(1, tiny);
+  std::vector<int> slow;
+  std::vector<int> fast;
+  Bind({1, 10}, &slow);
+  Bind({2, 20}, &fast);
+  san_.JoinGroup(9, {1, 10});
+  san_.JoinGroup(9, {2, 20});
+  for (int i = 0; i < 30; ++i) {
+    san_.Send(MakeMessage({3, 1}, {1, 10}, 100 + i, 20000, Transport::kReliable));
+    san_.SendMulticast(9, MakeMessage({0, 1}, {}, i, 500, Transport::kDatagram));
+  }
+  sim_.Run();
+  EXPECT_EQ(fast.size(), 30u);        // Unsaturated subscriber gets every beacon.
+  EXPECT_LT(slow.size(), 60u);        // Saturated one lost some (plus the 30 bulk).
+  EXPECT_GT(san_.datagrams_dropped(), 0);
+}
+
+TEST(LinkTest, ServiceTimeFollowsBandwidth) {
+  LinkConfig config;
+  config.bandwidth_bps = 10e6;
+  config.per_message_overhead = 0;
+  Link link("test", config);
+  // 12500 bytes = 100000 bits at 10 Mb/s = 10 ms.
+  EXPECT_EQ(link.ServiceTime(12500), Milliseconds(10.0));
+}
+
+}  // namespace
+}  // namespace sns

@@ -1,0 +1,191 @@
+// Tests for the discrete-event simulator and timers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/timer.h"
+
+namespace sns {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Seconds(3), [&] { order.push_back(3); });
+  sim.Schedule(Seconds(1), [&] { order.push_back(1); });
+  sim.Schedule(Seconds(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Seconds(3));
+}
+
+TEST(SimulatorTest, TiesBreakFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] {
+    ++fired;
+    sim.Schedule(Seconds(1), [&] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), Seconds(2));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(Seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // Double cancel is a no-op.
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelInvalidIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(kInvalidEventId));
+  EXPECT_FALSE(sim.Cancel(999999));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] { ++fired; });
+  sim.Schedule(Seconds(5), [&] { ++fired; });
+  sim.RunUntil(Seconds(3));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Seconds(3));
+  sim.RunFor(Seconds(3));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), Seconds(6));
+}
+
+TEST(SimulatorTest, EventAtExactBoundaryRuns) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(Seconds(3), [&] { fired = true; });
+  sim.RunUntil(Seconds(3));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(Seconds(2), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  sim.Run();  // Resumes.
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(Seconds(1), [] {});
+  sim.Run();
+  SimTime before = sim.now();
+  bool fired = false;
+  sim.Schedule(-Seconds(5), [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), before);
+}
+
+TEST(SimulatorTest, PendingAndExecutedCounts) {
+  Simulator sim;
+  sim.Schedule(1, [] {});
+  sim.Schedule(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(PeriodicTimerTest, FiresRepeatedlyUntilStopped) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer timer(&sim, Seconds(1), [&] { ++fired; });
+  timer.Start();
+  sim.RunUntil(Seconds(5) + Milliseconds(1.0));
+  EXPECT_EQ(fired, 5);
+  timer.Stop();
+  sim.RunFor(Seconds(5));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(PeriodicTimerTest, InitialDelayOverride) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer timer(&sim, Seconds(10), [&] { ++fired; });
+  timer.StartWithDelay(Milliseconds(1.0));
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PeriodicTimerTest, CallbackMayStopTimer) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer timer(&sim, Seconds(1), [&] {
+    if (++fired == 3) {
+      timer.Stop();
+    }
+  });
+  timer.Start();
+  sim.RunFor(Seconds(10));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimerTest, DestructionCancels) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicTimer timer(&sim, Seconds(1), [&] { ++fired; });
+    timer.Start();
+  }
+  sim.RunFor(Seconds(5));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(OneShotTimerTest, FiresOnceAndRearms) {
+  Simulator sim;
+  int fired = 0;
+  OneShotTimer timer(&sim);
+  timer.Arm(Seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(timer.armed());
+  sim.RunFor(Seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.armed());
+  timer.Arm(Seconds(1), [&] { fired += 10; });
+  sim.RunFor(Seconds(2));
+  EXPECT_EQ(fired, 11);
+}
+
+TEST(OneShotTimerTest, RearmReplacesPending) {
+  Simulator sim;
+  int value = 0;
+  OneShotTimer timer(&sim);
+  timer.Arm(Seconds(1), [&] { value = 1; });
+  timer.Arm(Seconds(2), [&] { value = 2; });
+  sim.RunFor(Seconds(5));
+  EXPECT_EQ(value, 2);
+}
+
+}  // namespace
+}  // namespace sns

@@ -1,0 +1,306 @@
+// Component-level tests of the SNS layer on a minimal live system: manager soft
+// state and spawning, worker stub behavior, cache nodes, the profile DB, and the
+// monitor.
+
+#include <gtest/gtest.h>
+
+#include "src/services/transend/transend.h"
+#include "src/sns/worker_process.h"
+#include "src/util/logging.h"
+
+namespace sns {
+namespace {
+
+TranSendOptions TinyOptions() {
+  TranSendOptions options = DefaultTranSendOptions();
+  options.topology.worker_pool_nodes = 4;
+  options.topology.cache_nodes = 2;
+  options.universe.url_count = 100;
+  return options;
+}
+
+TEST(ManagerTest, WorkersRegisterViaBeaconsAndAppearInHints) {
+  TranSendService service(TinyOptions());
+  service.Start();
+  service.system()->StartWorker(kJpegDistillerType);
+  service.system()->StartWorker(kGifDistillerType);
+  service.sim()->RunFor(Seconds(3));
+
+  ManagerProcess* manager = service.system()->manager();
+  ASSERT_NE(manager, nullptr);
+  EXPECT_EQ(manager->KnownWorkerCount(), 2u);
+  EXPECT_EQ(manager->KnownWorkerCount(kJpegDistillerType), 1u);
+  EXPECT_GT(manager->beacons_sent(), 1);
+  EXPECT_GT(manager->reports_received(), 0);
+}
+
+TEST(ManagerTest, DeadWorkerExpiresFromSoftState) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendService service(TinyOptions());
+  service.Start();
+  service.system()->StartWorker(kJpegDistillerType);
+  service.sim()->RunFor(Seconds(3));
+  ASSERT_EQ(service.system()->manager()->KnownWorkerCount(), 1u);
+
+  auto workers = service.system()->live_workers(kJpegDistillerType);
+  service.system()->cluster()->Crash(workers[0]->pid());
+  // Lease (worker_ttl = 3 s) expires without any report.
+  service.sim()->RunFor(Seconds(6));
+  EXPECT_EQ(service.system()->manager()->KnownWorkerCount(), 0u);
+}
+
+TEST(ManagerTest, SpawnRequestCreatesMissingWorkerType) {
+  TranSendService service(TinyOptions());
+  service.Start();
+  service.sim()->RunFor(Seconds(2));
+  EXPECT_TRUE(service.system()->live_workers(kHtmlDistillerType).empty());
+
+  // Simulate a front end asking for a missing type.
+  FrontEndProcess* fe = service.system()->front_end(0);
+  ASSERT_NE(fe, nullptr);
+  // Drive through the real path: a client request for an HTML page.
+  PlaybackEngine* client = service.AddPlaybackEngine();
+  TraceRecord record;
+  record.user_id = "u";
+  record.url = "http://site0.example.edu/obj1.html";
+  client->SendRequest(record);
+  service.sim()->RunFor(Seconds(140));
+  EXPECT_FALSE(service.system()->live_workers(kHtmlDistillerType).empty());
+}
+
+TEST(ManagerTest, PlacementAvoidsInfrastructureNodes) {
+  TranSendService service(TinyOptions());
+  service.Start();
+  PlaybackEngine* client = service.AddPlaybackEngine();
+  service.sim()->RunFor(Seconds(2));
+  TraceRecord record;
+  record.user_id = "u";
+  record.url = "http://site0.example.edu/obj2.jpg";
+  client->SendRequest(record);
+  service.sim()->RunFor(Seconds(140));
+
+  for (WorkerProcess* worker : service.system()->live_workers()) {
+    NodeId node = worker->node();
+    EXPECT_TRUE(service.system()->cluster()->WorkersAllowed(node));
+    EXPECT_NE(node, service.system()->manager_node());
+  }
+}
+
+TEST(ManagerTest, OverflowPoolUsedOnlyWhenDedicatedExhausted) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendOptions options = TinyOptions();
+  options.topology.worker_pool_nodes = 1;
+  options.topology.overflow_nodes = 2;
+  TranSendService service(options);
+  service.Start();
+  service.sim()->RunFor(Seconds(2));
+
+  ManagerProcess* manager = service.system()->manager();
+  ASSERT_NE(manager, nullptr);
+  // First worker lands on the dedicated node.
+  service.system()->StartWorker(kJpegDistillerType);
+  service.sim()->RunFor(Seconds(2));
+  auto workers = service.system()->live_workers();
+  ASSERT_EQ(workers.size(), 1u);
+  EXPECT_FALSE(service.system()->cluster()->IsOverflowNode(workers[0]->node()));
+}
+
+TEST(ManagerTest, NoWorkerNodesFallsBackToApproximateAnswer) {
+  // BASE end to end: with nowhere to spawn distillers, the request is still
+  // answered — with the original content ("an approximate answer delivered
+  // quickly is more useful than the exact answer delivered slowly", §3.1.8).
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendOptions options = TinyOptions();
+  options.topology.worker_pool_nodes = 0;  // No capacity for workers at all.
+  options.sns.task_retries = 0;
+  TranSendService service(options);
+  service.Start();
+  PlaybackEngine* client = service.AddPlaybackEngine();
+  service.sim()->RunFor(Seconds(2));
+
+  std::string url;
+  for (int64_t i = 0; i < service.universe()->url_count(); ++i) {
+    std::string candidate = service.universe()->UrlAt(i);
+    if (service.universe()->MimeOf(candidate) == MimeType::kJpeg &&
+        service.universe()->ModeledSize(candidate) > 4096) {
+      url = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(url.empty());
+  TraceRecord record;
+  record.user_id = "fallback";
+  record.url = url;
+  client->SendRequest(record);
+  service.sim()->RunFor(Seconds(150));
+
+  ASSERT_EQ(client->completed(), 1);
+  EXPECT_EQ(client->errors(), 0);
+  auto sources = client->responses_by_source();
+  EXPECT_EQ(sources["approximate"], 1);
+  // The user got the ORIGINAL bytes, undistilled.
+  EXPECT_GE(client->bytes_received(), service.universe()->ModeledSize(url));
+}
+
+TEST(WorkerProcessTest, QueuesTasksFifoAndReportsLoad) {
+  TranSendService service(TinyOptions());
+  service.Start();
+  ProcessId pid = service.system()->StartWorker(kJpegDistillerType);
+  ASSERT_NE(pid, kInvalidProcess);
+  service.sim()->RunFor(Seconds(3));
+
+  auto* worker = dynamic_cast<WorkerProcess*>(service.system()->cluster()->Find(pid));
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->worker_type(), kJpegDistillerType);
+  EXPECT_EQ(worker->QueueLength(), 0.0);
+  EXPECT_GT(service.system()->manager()->reports_received(), 0);
+}
+
+TEST(CacheNodeTest, StoresAndServesContent) {
+  TranSendService service(TinyOptions());
+  service.Start();
+  PlaybackEngine* client = service.AddPlaybackEngine();
+  service.sim()->RunFor(Seconds(2));
+
+  TraceRecord record;
+  record.user_id = "u";
+  record.url = service.universe()->UrlAt(3);
+  client->SendRequest(record);
+  service.sim()->RunFor(Seconds(140));
+  ASSERT_EQ(client->completed(), 1);
+
+  int64_t cached_bytes = 0;
+  for (CacheNodeProcess* cache : service.system()->cache_node_processes()) {
+    cached_bytes += cache->used_bytes();
+  }
+  EXPECT_GT(cached_bytes, 0);  // The original (and maybe variant) were injected.
+}
+
+TEST(CacheNodeTest, CrashLosesDataButServiceRegenerates) {
+  // "All cached data can be thrown away at the cost of performance" (§3.1.5).
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendService service(TinyOptions());
+  service.Start();
+  PlaybackEngine* client = service.AddPlaybackEngine();
+  service.sim()->RunFor(Seconds(2));
+
+  TraceRecord record;
+  record.user_id = "u";
+  record.url = service.universe()->UrlAt(5);
+  client->SendRequest(record);
+  service.sim()->RunFor(Seconds(140));
+  ASSERT_EQ(client->completed(), 1);
+
+  for (CacheNodeProcess* cache : service.system()->cache_node_processes()) {
+    service.system()->cluster()->Crash(cache->pid());
+  }
+  client->SendRequest(record);
+  service.sim()->RunFor(Seconds(140));
+  EXPECT_EQ(client->completed(), 2);  // Re-fetched from the origin.
+  EXPECT_EQ(client->errors(), 0);
+}
+
+TEST(ProfileDbTest, ProfilesDriveDistillationParameters) {
+  TranSendService service(TinyOptions());
+  UserProfile lo("lowuser");
+  lo.Set("quality", "low");
+  service.system()->SeedProfile(lo);
+  UserProfile hi("highuser");
+  hi.Set("quality", "high");
+  service.system()->SeedProfile(hi);
+  service.Start();
+  PlaybackEngine* client = service.AddPlaybackEngine();
+  service.sim()->RunFor(Seconds(2));
+
+  // Find a large opaque JPEG so the reduction model applies cleanly.
+  std::string url;
+  for (int64_t i = 0; i < service.universe()->url_count(); ++i) {
+    std::string candidate = service.universe()->UrlAt(i);
+    if (service.universe()->MimeOf(candidate) == MimeType::kJpeg &&
+        service.universe()->ModeledSize(candidate) > 8192) {
+      url = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(url.empty());
+
+  TraceRecord low_record{0, "lowuser", url, {}};
+  client->SendRequest(low_record);
+  service.sim()->RunFor(Seconds(140));
+  int64_t low_bytes = client->bytes_received();
+  ASSERT_EQ(client->completed(), 1);
+
+  TraceRecord high_record{0, "highuser", url, {}};
+  client->SendRequest(high_record);
+  service.sim()->RunFor(Seconds(30));
+  ASSERT_EQ(client->completed(), 2);
+  int64_t high_bytes = client->bytes_received() - low_bytes;
+  // "low" (scale 4, q10) must be much smaller than "high" (scale 1, q50).
+  EXPECT_LT(low_bytes * 3, high_bytes);
+  EXPECT_GT(service.system()->profile_db()->reads(), 0);
+}
+
+TEST(ProfileDbTest, SurvivesCrashViaWalRecovery) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendService service(TinyOptions());
+  UserProfile profile("durable-user");
+  profile.Set("quality", "low");
+  service.system()->SeedProfile(profile);
+  service.Start();
+  service.sim()->RunFor(Seconds(2));
+
+  // Crash the DB process; the KvStore (the "disk") persists; respawn recovers.
+  ProfileDbProcess* db = service.system()->profile_db();
+  ASSERT_NE(db, nullptr);
+  service.system()->cluster()->Crash(db->pid());
+  service.system()->profile_store()->SimulateCrash();
+  auto recovered = service.system()->profile_store()->Recover();
+  ASSERT_TRUE(recovered.ok());
+  auto stored = service.system()->profile_store()->Get("durable-user");
+  ASSERT_TRUE(stored.has_value());
+  auto parsed = UserProfile::Deserialize("durable-user", *stored);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetOr("quality", ""), "low");
+}
+
+TEST(MonitorTest, TracksComponentsAndAlarmsOnSilence) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendService service(TinyOptions());
+  service.Start();
+  service.system()->StartWorker(kJpegDistillerType);
+  service.sim()->RunFor(Seconds(4));
+
+  MonitorProcess* monitor = service.system()->monitor();
+  ASSERT_NE(monitor, nullptr);
+  EXPECT_GT(monitor->beacons_observed(), 0);
+  EXPECT_GE(monitor->LiveComponentCount(), 2u);  // Manager + worker at least.
+  std::string snapshot = monitor->RenderSnapshot();
+  EXPECT_NE(snapshot.find("manager"), std::string::npos);
+  EXPECT_NE(snapshot.find(kJpegDistillerType), std::string::npos);
+
+  // Kill the worker: the monitor pages the operator when reports stop.
+  int alarms_before = static_cast<int>(monitor->alarms().size());
+  auto workers = service.system()->live_workers(kJpegDistillerType);
+  service.system()->cluster()->Crash(workers[0]->pid());
+  service.sim()->RunFor(Seconds(10));
+  EXPECT_GT(static_cast<int>(monitor->alarms().size()), alarms_before);
+}
+
+TEST(MonitorTest, AlarmHandlerInvoked) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendService service(TinyOptions());
+  service.Start();
+  service.system()->StartWorker(kJpegDistillerType);
+  service.sim()->RunFor(Seconds(4));
+  std::vector<MonitorAlarm> pages;
+  service.system()->monitor()->set_alarm_handler(
+      [&pages](const MonitorAlarm& alarm) { pages.push_back(alarm); });
+  auto workers = service.system()->live_workers(kJpegDistillerType);
+  service.system()->cluster()->Crash(workers[0]->pid());
+  service.sim()->RunFor(Seconds(10));
+  ASSERT_FALSE(pages.empty());
+  EXPECT_NE(pages[0].message.find("stopped reporting"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sns

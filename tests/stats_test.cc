@@ -1,0 +1,140 @@
+// Tests for the statistics accumulators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sns {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-9);  // Sample variance.
+}
+
+TEST(RunningStatsTest, EmptyIsSafe) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  Rng rng(5);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Normal(3.0, 1.5);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(HistogramTest, CountsAndPercentiles) {
+  Histogram hist(0, 100, 100);
+  for (int i = 0; i < 100; ++i) {
+    hist.Add(i + 0.5);
+  }
+  EXPECT_EQ(hist.TotalCount(), 100);
+  EXPECT_NEAR(hist.Percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(hist.Percentile(0.95), 95.0, 1.5);
+  EXPECT_NEAR(hist.Percentile(0.0), 0.0, 1.1);
+}
+
+TEST(HistogramTest, OutOfRangeGoesToOverflowButCountsTotal) {
+  Histogram hist(0, 10, 10);
+  hist.Add(-5);
+  hist.Add(15);
+  hist.Add(5);
+  EXPECT_EQ(hist.TotalCount(), 3);
+  EXPECT_EQ(hist.summary().count(), 3);
+}
+
+TEST(LogHistogramTest, BucketsSpanDecades) {
+  LogHistogram hist(10, 1e6, 10);
+  hist.Add(11);
+  hist.Add(100000);
+  EXPECT_EQ(hist.TotalCount(), 2);
+  // Bucket edges are multiplicative.
+  EXPECT_NEAR(hist.BucketHigh(0) / hist.BucketLow(0), std::pow(10.0, 0.1), 1e-9);
+}
+
+TEST(LogHistogramTest, PercentileApproximatesMedian) {
+  LogHistogram hist(10, 1e6, 20);
+  Rng rng(6);
+  for (int i = 0; i < 100000; ++i) {
+    hist.Add(rng.LogNormal(8.0, 1.0));  // Median e^8 ~ 2981.
+  }
+  EXPECT_NEAR(hist.Percentile(0.5) / 2981.0, 1.0, 0.1);
+}
+
+TEST(EwmaTest, FirstSampleDominatesThenSmooths) {
+  Ewma ewma(0.5);
+  EXPECT_TRUE(ewma.empty());
+  ewma.Add(10);
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+  ewma.Add(0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 5.0);
+  ewma.Add(0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 2.5);
+  ewma.Reset();
+  EXPECT_TRUE(ewma.empty());
+}
+
+TEST(WindowedStatsTest, SlidesOverCapacity) {
+  WindowedStats window(3);
+  window.Add(1);
+  window.Add(2);
+  window.Add(3);
+  EXPECT_TRUE(window.full());
+  EXPECT_DOUBLE_EQ(window.Mean(), 2.0);
+  window.Add(10);  // Evicts 1.
+  EXPECT_DOUBLE_EQ(window.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(window.Max(), 10.0);
+}
+
+TEST(DeltaEstimatorTest, ExtrapolatesLinearTrend) {
+  DeltaEstimator est;
+  est.Observe(10.0, 1.0);
+  est.Observe(14.0, 2.0);  // Slope 4/s.
+  EXPECT_NEAR(est.Predict(3.0), 18.0, 1e-9);
+  EXPECT_NEAR(est.Predict(2.5), 16.0, 1e-9);
+}
+
+TEST(DeltaEstimatorTest, SingleObservationFallsBackToLastValue) {
+  DeltaEstimator est;
+  est.Observe(7.0, 1.0);
+  EXPECT_DOUBLE_EQ(est.Predict(5.0), 7.0);
+}
+
+TEST(DeltaEstimatorTest, NeverPredictsNegativeQueues) {
+  DeltaEstimator est;
+  est.Observe(4.0, 1.0);
+  est.Observe(1.0, 2.0);  // Falling at 3/s.
+  EXPECT_DOUBLE_EQ(est.Predict(10.0), 0.0);
+}
+
+TEST(DeltaEstimatorTest, EmptyPredictsZero) {
+  DeltaEstimator est;
+  EXPECT_DOUBLE_EQ(est.Predict(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace sns

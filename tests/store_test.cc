@@ -1,0 +1,315 @@
+// Tests for the storage substrate: LRU cache, consistent hashing, the WAL-backed
+// KV store (ACID), and soft-state tables (BASE).
+
+#include <gtest/gtest.h>
+
+#include "src/store/consistent_hash.h"
+#include "src/store/kvstore.h"
+#include "src/store/lru_cache.h"
+#include "src/store/soft_state.h"
+#include "src/util/strings.h"
+
+namespace sns {
+namespace {
+
+// ---------- LRU cache ---------------------------------------------------------
+
+TEST(LruCacheTest, PutGetAndPromotion) {
+  LruCache<std::string, int> cache(3);  // Unit-cost entries.
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("c", 3);
+  EXPECT_EQ(*cache.Get("a"), 1);  // Promotes "a".
+  cache.Put("d", 4);              // Evicts "b" (LRU).
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(LruCacheTest, ByteCapacityAccounting) {
+  LruCache<std::string, std::string> cache(
+      100, [](const std::string& v) { return static_cast<int64_t>(v.size()); });
+  cache.Put("a", std::string(40, 'x'));
+  cache.Put("b", std::string(40, 'y'));
+  EXPECT_EQ(cache.used_bytes(), 80);
+  cache.Put("c", std::string(40, 'z'));  // Evicts "a".
+  EXPECT_EQ(cache.used_bytes(), 80);
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+}
+
+TEST(LruCacheTest, OversizedValueIsRejected) {
+  LruCache<std::string, std::string> cache(
+      10, [](const std::string& v) { return static_cast<int64_t>(v.size()); });
+  cache.Put("big", std::string(50, 'x'));
+  EXPECT_FALSE(cache.Contains("big"));
+  EXPECT_EQ(cache.used_bytes(), 0);
+}
+
+TEST(LruCacheTest, ReplaceUpdatesSize) {
+  LruCache<std::string, std::string> cache(
+      100, [](const std::string& v) { return static_cast<int64_t>(v.size()); });
+  cache.Put("a", std::string(60, 'x'));
+  cache.Put("a", std::string(10, 'y'));
+  EXPECT_EQ(cache.used_bytes(), 10);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, HitRateAndCounters) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Get("a");
+  cache.Get("missing");
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+  cache.ResetCounters();
+  EXPECT_EQ(cache.hits(), 0);
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  LruCache<std::string, int> cache(4);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  EXPECT_TRUE(cache.Erase("a"));
+  EXPECT_FALSE(cache.Erase("a"));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0);
+}
+
+TEST(LruCacheTest, PeekDoesNotPromoteOrCount) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  EXPECT_NE(cache.Peek("a"), nullptr);
+  cache.Put("c", 3);  // "a" is still LRU despite Peek: evicted.
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_EQ(cache.hits(), 0);
+}
+
+// ---------- consistent hashing ------------------------------------------------------
+
+TEST(ConsistentHashTest, LookupStableAcrossCalls) {
+  ConsistentHashRing ring;
+  ring.AddMember(1);
+  ring.AddMember(2);
+  ring.AddMember(3);
+  for (int i = 0; i < 50; ++i) {
+    std::string key = StrFormat("key%d", i);
+    EXPECT_EQ(*ring.Lookup(key), *ring.Lookup(key));
+  }
+}
+
+TEST(ConsistentHashTest, EmptyRingReturnsNullopt) {
+  ConsistentHashRing ring;
+  EXPECT_FALSE(ring.Lookup("x").has_value());
+}
+
+TEST(ConsistentHashTest, BalancesAcrossMembers) {
+  ConsistentHashRing ring(128);
+  for (int64_t m = 0; m < 4; ++m) {
+    ring.AddMember(m);
+  }
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[*ring.Lookup(StrFormat("url-%d", i))];
+  }
+  for (const auto& [member, count] : counts) {
+    EXPECT_GT(count, 2500) << "member " << member << " underloaded";
+    EXPECT_LT(count, 9000) << "member " << member << " overloaded";
+  }
+}
+
+TEST(ConsistentHashTest, RemovalOnlyRemapsVictimKeys) {
+  // Paper §3.1.5: "automatically re-hashing when cache nodes are added or removed"
+  // — the point of consistent hashing is that survivors keep their keys.
+  ConsistentHashRing ring(128);
+  for (int64_t m = 0; m < 4; ++m) {
+    ring.AddMember(m);
+  }
+  std::map<std::string, int64_t> before;
+  for (int i = 0; i < 5000; ++i) {
+    std::string key = StrFormat("url-%d", i);
+    before[key] = *ring.Lookup(key);
+  }
+  ring.RemoveMember(2);
+  int moved = 0;
+  for (const auto& [key, owner] : before) {
+    int64_t now = *ring.Lookup(key);
+    if (owner != 2) {
+      EXPECT_EQ(now, owner) << "non-victim key remapped: " << key;
+    } else {
+      EXPECT_NE(now, 2);
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ConsistentHashTest, LookupNReturnsDistinctMembers) {
+  ConsistentHashRing ring;
+  for (int64_t m = 0; m < 5; ++m) {
+    ring.AddMember(m);
+  }
+  auto chain = ring.LookupN("some-key", 3);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_NE(chain[0], chain[1]);
+  EXPECT_NE(chain[1], chain[2]);
+  EXPECT_NE(chain[0], chain[2]);
+  // Asking for more than exist returns all members once.
+  EXPECT_EQ(ring.LookupN("k", 10).size(), 5u);
+}
+
+// ---------- KvStore (ACID) ---------------------------------------------------------
+
+TEST(KvStoreTest, PutGetDelete) {
+  KvStore store;
+  EXPECT_TRUE(store.Put("user1", "profile-data").ok());
+  EXPECT_EQ(*store.Get("user1"), "profile-data");
+  EXPECT_TRUE(store.Delete("user1").ok());
+  EXPECT_FALSE(store.Get("user1").has_value());
+}
+
+TEST(KvStoreTest, CrashRecoveryReplaysWal) {
+  KvStore store;
+  store.Put("a", "1");
+  store.Put("b", "2");
+  store.Put("a", "3");
+  store.SimulateCrash();
+  EXPECT_FALSE(store.Get("a").has_value());  // Volatile state gone.
+  auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, 3);
+  EXPECT_EQ(*store.Get("a"), "3");
+  EXPECT_EQ(*store.Get("b"), "2");
+}
+
+TEST(KvStoreTest, MultiKeyCommitIsAtomicOnRecovery) {
+  KvStore store;
+  store.Commit({{KvStore::Op::Kind::kPut, "x", "1"},
+                {KvStore::Op::Kind::kPut, "y", "2"},
+                {KvStore::Op::Kind::kDelete, "z", ""}});
+  store.SimulateCrash();
+  ASSERT_TRUE(store.Recover().ok());
+  EXPECT_EQ(*store.Get("x"), "1");
+  EXPECT_EQ(*store.Get("y"), "2");
+}
+
+TEST(KvStoreTest, EmptyCommitRejected) {
+  KvStore store;
+  EXPECT_EQ(store.Commit({}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KvStoreTest, TornWriteDiscardedOnRecovery) {
+  KvStore store;
+  store.Put("a", "1");
+  store.Put("b", "2");
+  ASSERT_TRUE(store.TearLastRecord().ok());
+  store.SimulateCrash();
+  auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, 1);  // Only the intact prefix.
+  EXPECT_TRUE(store.Get("a").has_value());
+  EXPECT_FALSE(store.Get("b").has_value());
+  EXPECT_EQ(store.wal_records(), 1u);  // Truncated.
+}
+
+TEST(KvStoreTest, CorruptRecordStopsReplay) {
+  KvStore store;
+  store.Put("a", "1");
+  store.Put("b", "2");
+  store.Put("c", "3");
+  ASSERT_TRUE(store.CorruptLogRecord(1).ok());
+  store.SimulateCrash();
+  auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, 1);
+  EXPECT_TRUE(store.Get("a").has_value());
+  EXPECT_FALSE(store.Get("b").has_value());
+  EXPECT_FALSE(store.Get("c").has_value());  // After the corruption: discarded.
+}
+
+TEST(KvStoreTest, CheckpointCompactsWal) {
+  KvStore store;
+  for (int i = 0; i < 100; ++i) {
+    store.Put("key", StrFormat("v%d", i));
+  }
+  EXPECT_EQ(store.wal_records(), 100u);
+  store.Checkpoint();
+  EXPECT_EQ(store.wal_records(), 1u);
+  store.SimulateCrash();
+  ASSERT_TRUE(store.Recover().ok());
+  EXPECT_EQ(*store.Get("key"), "v99");
+}
+
+TEST(KvStoreTest, WalBytesGrowWithData) {
+  KvStore store;
+  int64_t empty = store.wal_bytes();
+  store.Put("key", std::string(1000, 'x'));
+  EXPECT_GT(store.wal_bytes(), empty + 1000);
+}
+
+// ---------- Soft-state table (BASE) -----------------------------------------------
+
+TEST(SoftStateTest, RefreshAndExpiry) {
+  SoftStateTable<std::string, int> table(Seconds(5));
+  table.Refresh("worker1", 7, /*now=*/0);
+  EXPECT_EQ(*table.Get("worker1", Seconds(4)), 7);
+  EXPECT_FALSE(table.Get("worker1", Seconds(5)).has_value());  // Lease over.
+}
+
+TEST(SoftStateTest, TouchRenewsLease) {
+  SoftStateTable<std::string, int> table(Seconds(5));
+  table.Refresh("w", 1, 0);
+  EXPECT_TRUE(table.Touch("w", Seconds(4)));
+  EXPECT_TRUE(table.Get("w", Seconds(8)).has_value());
+  EXPECT_FALSE(table.Touch("w", Seconds(20)));  // Expired: cannot touch.
+}
+
+TEST(SoftStateTest, ExpireInvokesCallbackAndPrunes) {
+  SoftStateTable<std::string, int> table(Seconds(5));
+  table.Refresh("a", 1, 0);
+  table.Refresh("b", 2, Seconds(3));
+  std::vector<std::string> expired;
+  size_t count = table.Expire(Seconds(6), [&](const std::string& key, const int&) {
+    expired.push_back(key);
+  });
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(expired, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(table.SizeIncludingExpired(), 1u);
+}
+
+TEST(SoftStateTest, GetMutableAllowsInPlaceUpdate) {
+  SoftStateTable<std::string, int> table(Seconds(5));
+  table.Refresh("w", 1, 0);
+  int* value = table.GetMutable("w", Seconds(1));
+  ASSERT_NE(value, nullptr);
+  *value = 42;
+  EXPECT_EQ(*table.Get("w", Seconds(2)), 42);
+  EXPECT_EQ(table.GetMutable("missing", 0), nullptr);
+}
+
+TEST(SoftStateTest, LiveKeysAndForEachSkipExpired) {
+  SoftStateTable<std::string, int> table(Seconds(5));
+  table.Refresh("live", 1, Seconds(3));
+  table.Refresh("dead", 2, 0);
+  SimTime now = Seconds(6);
+  EXPECT_EQ(table.LiveKeys(now), (std::vector<std::string>{"live"}));
+  EXPECT_EQ(table.LiveCount(now), 1u);
+  int visited = 0;
+  table.ForEach(now, [&](const std::string&, const int&) { ++visited; });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(SoftStateTest, EraseRemovesImmediately) {
+  SoftStateTable<std::string, int> table(Seconds(5));
+  table.Refresh("w", 1, 0);
+  EXPECT_TRUE(table.Erase("w"));
+  EXPECT_FALSE(table.Erase("w"));
+  EXPECT_FALSE(table.Get("w", 0).has_value());
+}
+
+}  // namespace
+}  // namespace sns

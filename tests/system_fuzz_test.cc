@@ -1,0 +1,168 @@
+// System chaos fuzzing: hundreds of random operator/fault actions against the live
+// TranSend system, asserting the architecture's global invariants — the simulation
+// never wedges, counters stay consistent, and after the chaos stops the process-peer
+// web heals the system back to full service.
+
+#include <gtest/gtest.h>
+
+#include "src/services/transend/transend.h"
+#include "src/sns/worker_process.h"
+#include "src/util/logging.h"
+
+namespace sns {
+namespace {
+
+class SystemFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SystemFuzz, RandomFaultsAndLoadNeverWedgeTheSystem) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendOptions options = DefaultTranSendOptions();
+  options.universe.url_count = 80;
+  options.logic.cache_distilled = false;
+  options.topology.worker_pool_nodes = 5;
+  options.topology.overflow_nodes = 2;
+  options.topology.cache_nodes = 2;
+  // Production TranSend relied on client-side balancing across front ends to mask
+  // FE failures (§3.1.2); give the chaos run the same redundancy.
+  options.topology.front_ends = 2;
+  TranSendService service(options);
+  service.Start();
+  PlaybackEngine* client = service.AddPlaybackEngine(GetParam());
+  service.sim()->RunFor(Seconds(3));
+
+  Rng rng(GetParam() ^ 0xF022);
+  ContentUniverse* universe = service.universe();
+  client->StartConstantRate(10, [&rng, universe] {
+    TraceRecord record;
+    record.user_id = "chaos";
+    record.url = universe->UrlAt(rng.UniformInt(0, universe->url_count() - 1));
+    return record;
+  });
+
+  std::vector<NodeId> downed_nodes;
+  bool partitioned = false;
+  for (int step = 0; step < 200; ++step) {
+    service.sim()->RunFor(Milliseconds(1000.0 + rng.UniformInt(0, 1500)));
+    SnsSystem* system = service.system();
+    switch (rng.UniformInt(0, 9)) {
+      case 0: {  // Crash a random worker.
+        auto workers = system->live_workers();
+        if (!workers.empty()) {
+          system->cluster()->Crash(
+              workers[static_cast<size_t>(
+                          rng.UniformInt(0, static_cast<int64_t>(workers.size()) - 1))]
+                  ->pid());
+        }
+        break;
+      }
+      case 1:  // Crash the manager.
+        if (system->manager() != nullptr && rng.Bernoulli(0.4)) {
+          system->cluster()->Crash(system->manager_pid());
+        }
+        break;
+      case 2: {  // Crash a random front end.
+        auto fes = system->front_ends();
+        if (!fes.empty() && rng.Bernoulli(0.4)) {
+          system->cluster()->Crash(
+              fes[static_cast<size_t>(
+                      rng.UniformInt(0, static_cast<int64_t>(fes.size()) - 1))]
+                  ->pid());
+        }
+        break;
+      }
+      case 3: {  // Crash a cache node.
+        auto caches = system->cache_node_processes();
+        if (!caches.empty()) {
+          system->cluster()->Crash(caches[0]->pid());
+        }
+        break;
+      }
+      case 4: {  // Power-fail a worker-pool node.
+        const auto& pool = system->worker_pool();
+        NodeId victim = pool[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+        if (system->cluster()->NodeUp(victim) && downed_nodes.size() < 2) {
+          system->cluster()->CrashNode(victim);
+          downed_nodes.push_back(victim);
+        }
+        break;
+      }
+      case 5:  // Restart a downed node.
+        if (!downed_nodes.empty()) {
+          system->cluster()->RestartNode(downed_nodes.back());
+          downed_nodes.pop_back();
+        }
+        break;
+      case 6:  // Partition a random worker node away / heal.
+        if (!partitioned) {
+          const auto& pool = system->worker_pool();
+          system->san()->SetPartition(
+              pool[static_cast<size_t>(
+                  rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))],
+              1);
+          partitioned = true;
+        } else {
+          system->san()->HealPartitions();
+          partitioned = false;
+        }
+        break;
+      case 7:  // Poison a request (crashes its distiller mid-task).
+        if (rng.Bernoulli(0.5)) {
+          TraceRecord record;
+          record.user_id = "chaos";
+          record.url = universe->UrlAt(rng.UniformInt(0, universe->url_count() - 1));
+          client->SendRequest(record, {{"__poison", "1"}});
+        }
+        break;
+      case 8:  // Jolt the load.
+        client->SetRate(rng.Uniform(3.0, 30.0));
+        break;
+      case 9:  // Crash the profile DB.
+        if (system->profile_db() != nullptr && rng.Bernoulli(0.3)) {
+          system->cluster()->Crash(system->profile_db()->pid());
+        }
+        break;
+    }
+  }
+
+  // Stop the chaos, heal everything, and let the process-peer web converge.
+  service.system()->san()->HealPartitions();
+  for (NodeId node : downed_nodes) {
+    service.system()->cluster()->RestartNode(node);
+  }
+  client->StopLoad();
+  service.sim()->RunFor(Seconds(40));
+
+  // --- Invariants ---------------------------------------------------------------
+  // The control plane healed itself.
+  ASSERT_NE(service.system()->manager(), nullptr);
+  EXPECT_GT(service.system()->manager()->beacons_sent(), 0);
+  ASSERT_FALSE(service.system()->front_ends().empty());
+  ASSERT_NE(service.system()->profile_db(), nullptr);
+
+  // Counters are consistent.
+  EXPECT_EQ(client->outstanding(), 0);
+  EXPECT_LE(client->completed() + client->timeouts() + client->send_failures(),
+            client->sent());
+
+  // The service answered the overwhelming majority of chaos-era requests.
+  double answered = static_cast<double>(client->completed()) /
+                    static_cast<double>(std::max<int64_t>(client->sent(), 1));
+  EXPECT_GT(answered, 0.90);
+
+  // And it still works: a fresh request completes promptly.
+  client->ResetStats();
+  TraceRecord record;
+  record.user_id = "after";
+  record.url = universe->UrlAt(0);
+  client->SendRequest(record);
+  service.sim()->RunFor(Seconds(140));
+  EXPECT_EQ(client->completed(), 1);
+  EXPECT_EQ(client->errors(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u));
+
+}  // namespace
+}  // namespace sns

@@ -1,0 +1,158 @@
+// Unit tests for src/util: time formatting, status/result, strings, token bucket.
+
+#include <gtest/gtest.h>
+
+#include "src/util/status.h"
+#include "src/util/strings.h"
+#include "src/util/time.h"
+#include "src/util/token_bucket.h"
+
+namespace sns {
+namespace {
+
+// ---------- time -------------------------------------------------------------
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Seconds(1.0), 1000 * Milliseconds(1.0));
+  EXPECT_EQ(Milliseconds(1.0), 1000 * Microseconds(1));
+  EXPECT_EQ(Minutes(2), 120 * kSecond);
+  EXPECT_EQ(Hours(1), 3600 * kSecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Microseconds(1500)), 1.5);
+}
+
+TEST(TimeTest, FormatTime) {
+  EXPECT_EQ(FormatTime(0), "0:00:00.000");
+  EXPECT_EQ(FormatTime(Seconds(61) + Milliseconds(7.0)), "0:01:01.007");
+  EXPECT_EQ(FormatTime(Hours(2) + Minutes(3) + Seconds(4)), "2:03:04.000");
+}
+
+TEST(TimeTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(Nanoseconds(12)), "12ns");
+  EXPECT_EQ(FormatDuration(Microseconds(2) + Nanoseconds(500)), "2.5us");
+  EXPECT_EQ(FormatDuration(Milliseconds(17.0)), "17.0ms");
+  EXPECT_EQ(FormatDuration(Seconds(2.5)), "2.50s");
+  EXPECT_EQ(FormatDuration(Minutes(90)), "1.50h");
+}
+
+// ---------- status / result ---------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = TimeoutError("manager beacon lost");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kTimeout);
+  EXPECT_EQ(status.ToString(), "TIMEOUT: manager beacon lost");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(CorruptionError("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+// ---------- strings -----------------------------------------------------------
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, JoinAndSplit) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  std::vector<std::string> parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(999), "999 B");
+  EXPECT_EQ(HumanBytes(12300), "12.3 KB");
+  EXPECT_EQ(HumanBytes(4000000), "4.0 MB");
+  EXPECT_EQ(HumanBytes(6000000000LL), "6.00 GB");
+}
+
+TEST(StringsTest, AffixesAndCase) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("x", "http://"));
+  EXPECT_TRUE(EndsWith("photo.jpg", ".jpg"));
+  EXPECT_FALSE(EndsWith(".jpg", "photo.jpg"));
+  EXPECT_EQ(AsciiLower("MiXeD123"), "mixed123");
+}
+
+TEST(StringsTest, Fnv1aIsStableAndSpreads) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+  EXPECT_NE(Fnv1a(""), Fnv1a("a"));
+}
+
+// ---------- token bucket ---------------------------------------------------------
+
+TEST(TokenBucketTest, StartsFull) {
+  TokenBucket bucket(10.0, 5.0);
+  EXPECT_TRUE(bucket.TryTake(0, 5.0));
+  EXPECT_FALSE(bucket.TryTake(0, 0.5));
+}
+
+TEST(TokenBucketTest, RefillsAtRate) {
+  TokenBucket bucket(10.0, 5.0);
+  ASSERT_TRUE(bucket.TryTake(0, 5.0));
+  // After 0.3 s, 3 tokens accrued.
+  EXPECT_TRUE(bucket.TryTake(Milliseconds(300), 3.0));
+  EXPECT_FALSE(bucket.TryTake(Milliseconds(300), 0.5));
+}
+
+TEST(TokenBucketTest, CapsAtBurst) {
+  TokenBucket bucket(10.0, 5.0);
+  bucket.TryTake(0, 5.0);
+  EXPECT_NEAR(bucket.available(Seconds(100)), 5.0, 1e-9);
+}
+
+TEST(TokenBucketTest, NextAvailablePredictsRefillTime) {
+  TokenBucket bucket(10.0, 5.0);
+  bucket.TryTake(0, 5.0);
+  SimTime when = bucket.NextAvailable(0, 2.0);
+  EXPECT_NEAR(ToSeconds(when), 0.2, 1e-6);
+  EXPECT_TRUE(bucket.TryTake(when, 2.0));
+}
+
+TEST(TokenBucketTest, ZeroRateNeverRefills) {
+  TokenBucket bucket(0.0, 1.0);
+  bucket.TryTake(0, 1.0);
+  EXPECT_EQ(bucket.NextAvailable(0, 1.0), kTimeNever);
+}
+
+}  // namespace
+}  // namespace sns
