@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_balance_policy"
+  "../bench/ablation_balance_policy.pdb"
+  "CMakeFiles/ablation_balance_policy.dir/ablation_balance_policy.cc.o"
+  "CMakeFiles/ablation_balance_policy.dir/ablation_balance_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_balance_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_base_vs_acid"
+  "../bench/ablation_base_vs_acid.pdb"
+  "CMakeFiles/ablation_base_vs_acid.dir/ablation_base_vs_acid.cc.o"
+  "CMakeFiles/ablation_base_vs_acid.dir/ablation_base_vs_acid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_base_vs_acid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

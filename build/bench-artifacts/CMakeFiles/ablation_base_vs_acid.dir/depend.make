@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_base_vs_acid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fast_sockets"
+  "../bench/ablation_fast_sockets.pdb"
+  "CMakeFiles/ablation_fast_sockets.dir/ablation_fast_sockets.cc.o"
+  "CMakeFiles/ablation_fast_sockets.dir/ablation_fast_sockets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fast_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

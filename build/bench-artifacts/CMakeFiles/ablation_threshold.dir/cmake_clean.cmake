@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_threshold"
+  "../bench/ablation_threshold.pdb"
+  "CMakeFiles/ablation_threshold.dir/ablation_threshold.cc.o"
+  "CMakeFiles/ablation_threshold.dir/ablation_threshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_content_lengths"
+  "../bench/fig5_content_lengths.pdb"
+  "CMakeFiles/fig5_content_lengths.dir/fig5_content_lengths.cc.o"
+  "CMakeFiles/fig5_content_lengths.dir/fig5_content_lengths.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_content_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

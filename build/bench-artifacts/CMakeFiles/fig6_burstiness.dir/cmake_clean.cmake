@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_burstiness"
+  "../bench/fig6_burstiness.pdb"
+  "CMakeFiles/fig6_burstiness.dir/fig6_burstiness.cc.o"
+  "CMakeFiles/fig6_burstiness.dir/fig6_burstiness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

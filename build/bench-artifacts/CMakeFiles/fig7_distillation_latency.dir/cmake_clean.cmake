@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_distillation_latency"
+  "../bench/fig7_distillation_latency.pdb"
+  "CMakeFiles/fig7_distillation_latency.dir/fig7_distillation_latency.cc.o"
+  "CMakeFiles/fig7_distillation_latency.dir/fig7_distillation_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_distillation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_load_balancing"
+  "../bench/fig8_load_balancing.pdb"
+  "CMakeFiles/fig8_load_balancing.dir/fig8_load_balancing.cc.o"
+  "CMakeFiles/fig8_load_balancing.dir/fig8_load_balancing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_substrate"
+  "../bench/micro_substrate.pdb"
+  "CMakeFiles/micro_substrate.dir/micro_substrate.cc.o"
+  "CMakeFiles/micro_substrate.dir/micro_substrate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/replay_production"
+  "../bench/replay_production.pdb"
+  "CMakeFiles/replay_production.dir/replay_production.cc.o"
+  "CMakeFiles/replay_production.dir/replay_production.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

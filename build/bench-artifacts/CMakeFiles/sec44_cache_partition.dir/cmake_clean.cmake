@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec44_cache_partition"
+  "../bench/sec44_cache_partition.pdb"
+  "CMakeFiles/sec44_cache_partition.dir/sec44_cache_partition.cc.o"
+  "CMakeFiles/sec44_cache_partition.dir/sec44_cache_partition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_cache_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

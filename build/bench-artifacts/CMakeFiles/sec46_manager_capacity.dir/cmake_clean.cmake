@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec46_manager_capacity"
+  "../bench/sec46_manager_capacity.pdb"
+  "CMakeFiles/sec46_manager_capacity.dir/sec46_manager_capacity.cc.o"
+  "CMakeFiles/sec46_manager_capacity.dir/sec46_manager_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec46_manager_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

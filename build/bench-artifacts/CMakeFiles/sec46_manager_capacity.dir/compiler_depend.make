@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec46_manager_capacity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec46_san_saturation"
+  "../bench/sec46_san_saturation.pdb"
+  "CMakeFiles/sec46_san_saturation.dir/sec46_san_saturation.cc.o"
+  "CMakeFiles/sec46_san_saturation.dir/sec46_san_saturation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec46_san_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

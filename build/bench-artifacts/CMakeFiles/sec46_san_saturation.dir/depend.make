@@ -1,0 +1,2 @@
+# Empty dependencies file for sec46_san_saturation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec52_economics"
+  "../bench/sec52_economics.pdb"
+  "CMakeFiles/sec52_economics.dir/sec52_economics.cc.o"
+  "CMakeFiles/sec52_economics.dir/sec52_economics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec52_economics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec52_economics.
+# This may be replaced when dependencies are built.

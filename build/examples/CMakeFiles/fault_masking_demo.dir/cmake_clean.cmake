@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_masking_demo.dir/fault_masking_demo.cpp.o"
+  "CMakeFiles/fault_masking_demo.dir/fault_masking_demo.cpp.o.d"
+  "fault_masking_demo"
+  "fault_masking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_masking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotbot_demo.dir/hotbot_demo.cpp.o"
+  "CMakeFiles/hotbot_demo.dir/hotbot_demo.cpp.o.d"
+  "hotbot_demo"
+  "hotbot_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotbot_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

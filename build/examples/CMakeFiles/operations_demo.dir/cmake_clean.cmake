@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operations_demo.dir/operations_demo.cpp.o"
+  "CMakeFiles/operations_demo.dir/operations_demo.cpp.o.d"
+  "operations_demo"
+  "operations_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operations_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_composition.dir/tacc_composition.cpp.o"
+  "CMakeFiles/tacc_composition.dir/tacc_composition.cpp.o.d"
+  "tacc_composition"
+  "tacc_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transend_demo.dir/transend_demo.cpp.o"
+  "CMakeFiles/transend_demo.dir/transend_demo.cpp.o.d"
+  "transend_demo"
+  "transend_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transend_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

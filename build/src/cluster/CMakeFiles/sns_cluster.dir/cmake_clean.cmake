@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_cluster.dir/cluster.cc.o"
+  "CMakeFiles/sns_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/sns_cluster.dir/failure_injector.cc.o"
+  "CMakeFiles/sns_cluster.dir/failure_injector.cc.o.d"
+  "CMakeFiles/sns_cluster.dir/process.cc.o"
+  "CMakeFiles/sns_cluster.dir/process.cc.o.d"
+  "libsns_cluster.a"
+  "libsns_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

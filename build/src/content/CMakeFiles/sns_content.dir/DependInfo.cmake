@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/content/gif_codec.cc" "src/content/CMakeFiles/sns_content.dir/gif_codec.cc.o" "gcc" "src/content/CMakeFiles/sns_content.dir/gif_codec.cc.o.d"
+  "/root/repo/src/content/html.cc" "src/content/CMakeFiles/sns_content.dir/html.cc.o" "gcc" "src/content/CMakeFiles/sns_content.dir/html.cc.o.d"
+  "/root/repo/src/content/image.cc" "src/content/CMakeFiles/sns_content.dir/image.cc.o" "gcc" "src/content/CMakeFiles/sns_content.dir/image.cc.o.d"
+  "/root/repo/src/content/jpeg_codec.cc" "src/content/CMakeFiles/sns_content.dir/jpeg_codec.cc.o" "gcc" "src/content/CMakeFiles/sns_content.dir/jpeg_codec.cc.o.d"
+  "/root/repo/src/content/mime.cc" "src/content/CMakeFiles/sns_content.dir/mime.cc.o" "gcc" "src/content/CMakeFiles/sns_content.dir/mime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

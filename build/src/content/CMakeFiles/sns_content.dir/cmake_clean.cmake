@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_content.dir/gif_codec.cc.o"
+  "CMakeFiles/sns_content.dir/gif_codec.cc.o.d"
+  "CMakeFiles/sns_content.dir/html.cc.o"
+  "CMakeFiles/sns_content.dir/html.cc.o.d"
+  "CMakeFiles/sns_content.dir/image.cc.o"
+  "CMakeFiles/sns_content.dir/image.cc.o.d"
+  "CMakeFiles/sns_content.dir/jpeg_codec.cc.o"
+  "CMakeFiles/sns_content.dir/jpeg_codec.cc.o.d"
+  "CMakeFiles/sns_content.dir/mime.cc.o"
+  "CMakeFiles/sns_content.dir/mime.cc.o.d"
+  "libsns_content.a"
+  "libsns_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/sns_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/sns_net.dir/link.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/sns_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/sns_net.dir/message.cc.o.d"
+  "/root/repo/src/net/san.cc" "src/net/CMakeFiles/sns_net.dir/san.cc.o" "gcc" "src/net/CMakeFiles/sns_net.dir/san.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

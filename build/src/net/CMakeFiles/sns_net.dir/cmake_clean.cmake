@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_net.dir/link.cc.o"
+  "CMakeFiles/sns_net.dir/link.cc.o.d"
+  "CMakeFiles/sns_net.dir/message.cc.o"
+  "CMakeFiles/sns_net.dir/message.cc.o.d"
+  "CMakeFiles/sns_net.dir/san.cc.o"
+  "CMakeFiles/sns_net.dir/san.cc.o.d"
+  "libsns_net.a"
+  "libsns_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/extras/culture_page.cc" "src/services/CMakeFiles/sns_services.dir/extras/culture_page.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/extras/culture_page.cc.o.d"
+  "/root/repo/src/services/extras/keyword_filter.cc" "src/services/CMakeFiles/sns_services.dir/extras/keyword_filter.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/extras/keyword_filter.cc.o.d"
+  "/root/repo/src/services/extras/metasearch.cc" "src/services/CMakeFiles/sns_services.dir/extras/metasearch.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/extras/metasearch.cc.o.d"
+  "/root/repo/src/services/extras/palm_transform.cc" "src/services/CMakeFiles/sns_services.dir/extras/palm_transform.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/extras/palm_transform.cc.o.d"
+  "/root/repo/src/services/extras/rewebber.cc" "src/services/CMakeFiles/sns_services.dir/extras/rewebber.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/extras/rewebber.cc.o.d"
+  "/root/repo/src/services/hotbot/hotbot.cc" "src/services/CMakeFiles/sns_services.dir/hotbot/hotbot.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/hotbot/hotbot.cc.o.d"
+  "/root/repo/src/services/hotbot/hotbot_logic.cc" "src/services/CMakeFiles/sns_services.dir/hotbot/hotbot_logic.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/hotbot/hotbot_logic.cc.o.d"
+  "/root/repo/src/services/hotbot/inverted_index.cc" "src/services/CMakeFiles/sns_services.dir/hotbot/inverted_index.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/hotbot/inverted_index.cc.o.d"
+  "/root/repo/src/services/hotbot/search_worker.cc" "src/services/CMakeFiles/sns_services.dir/hotbot/search_worker.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/hotbot/search_worker.cc.o.d"
+  "/root/repo/src/services/transend/distillers.cc" "src/services/CMakeFiles/sns_services.dir/transend/distillers.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/transend/distillers.cc.o.d"
+  "/root/repo/src/services/transend/transend.cc" "src/services/CMakeFiles/sns_services.dir/transend/transend.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/transend/transend.cc.o.d"
+  "/root/repo/src/services/transend/transend_logic.cc" "src/services/CMakeFiles/sns_services.dir/transend/transend_logic.cc.o" "gcc" "src/services/CMakeFiles/sns_services.dir/transend/transend_logic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sns/CMakeFiles/sns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sns_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tacc/CMakeFiles/sns_tacc.dir/DependInfo.cmake"
+  "/root/repo/build/src/content/CMakeFiles/sns_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/sns_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sns_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sns_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

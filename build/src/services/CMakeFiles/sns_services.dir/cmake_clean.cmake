@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_services.dir/extras/culture_page.cc.o"
+  "CMakeFiles/sns_services.dir/extras/culture_page.cc.o.d"
+  "CMakeFiles/sns_services.dir/extras/keyword_filter.cc.o"
+  "CMakeFiles/sns_services.dir/extras/keyword_filter.cc.o.d"
+  "CMakeFiles/sns_services.dir/extras/metasearch.cc.o"
+  "CMakeFiles/sns_services.dir/extras/metasearch.cc.o.d"
+  "CMakeFiles/sns_services.dir/extras/palm_transform.cc.o"
+  "CMakeFiles/sns_services.dir/extras/palm_transform.cc.o.d"
+  "CMakeFiles/sns_services.dir/extras/rewebber.cc.o"
+  "CMakeFiles/sns_services.dir/extras/rewebber.cc.o.d"
+  "CMakeFiles/sns_services.dir/hotbot/hotbot.cc.o"
+  "CMakeFiles/sns_services.dir/hotbot/hotbot.cc.o.d"
+  "CMakeFiles/sns_services.dir/hotbot/hotbot_logic.cc.o"
+  "CMakeFiles/sns_services.dir/hotbot/hotbot_logic.cc.o.d"
+  "CMakeFiles/sns_services.dir/hotbot/inverted_index.cc.o"
+  "CMakeFiles/sns_services.dir/hotbot/inverted_index.cc.o.d"
+  "CMakeFiles/sns_services.dir/hotbot/search_worker.cc.o"
+  "CMakeFiles/sns_services.dir/hotbot/search_worker.cc.o.d"
+  "CMakeFiles/sns_services.dir/transend/distillers.cc.o"
+  "CMakeFiles/sns_services.dir/transend/distillers.cc.o.d"
+  "CMakeFiles/sns_services.dir/transend/transend.cc.o"
+  "CMakeFiles/sns_services.dir/transend/transend.cc.o.d"
+  "CMakeFiles/sns_services.dir/transend/transend_logic.cc.o"
+  "CMakeFiles/sns_services.dir/transend/transend_logic.cc.o.d"
+  "libsns_services.a"
+  "libsns_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

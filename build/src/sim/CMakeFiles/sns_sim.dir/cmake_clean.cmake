@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_sim.dir/simulator.cc.o"
+  "CMakeFiles/sns_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/sns_sim.dir/timer.cc.o"
+  "CMakeFiles/sns_sim.dir/timer.cc.o.d"
+  "libsns_sim.a"
+  "libsns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsns_sim.a"
+)

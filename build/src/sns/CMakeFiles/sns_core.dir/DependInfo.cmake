@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sns/cache_node.cc" "src/sns/CMakeFiles/sns_core.dir/cache_node.cc.o" "gcc" "src/sns/CMakeFiles/sns_core.dir/cache_node.cc.o.d"
+  "/root/repo/src/sns/front_end.cc" "src/sns/CMakeFiles/sns_core.dir/front_end.cc.o" "gcc" "src/sns/CMakeFiles/sns_core.dir/front_end.cc.o.d"
+  "/root/repo/src/sns/manager.cc" "src/sns/CMakeFiles/sns_core.dir/manager.cc.o" "gcc" "src/sns/CMakeFiles/sns_core.dir/manager.cc.o.d"
+  "/root/repo/src/sns/manager_stub.cc" "src/sns/CMakeFiles/sns_core.dir/manager_stub.cc.o" "gcc" "src/sns/CMakeFiles/sns_core.dir/manager_stub.cc.o.d"
+  "/root/repo/src/sns/messages.cc" "src/sns/CMakeFiles/sns_core.dir/messages.cc.o" "gcc" "src/sns/CMakeFiles/sns_core.dir/messages.cc.o.d"
+  "/root/repo/src/sns/monitor.cc" "src/sns/CMakeFiles/sns_core.dir/monitor.cc.o" "gcc" "src/sns/CMakeFiles/sns_core.dir/monitor.cc.o.d"
+  "/root/repo/src/sns/profile_db.cc" "src/sns/CMakeFiles/sns_core.dir/profile_db.cc.o" "gcc" "src/sns/CMakeFiles/sns_core.dir/profile_db.cc.o.d"
+  "/root/repo/src/sns/system.cc" "src/sns/CMakeFiles/sns_core.dir/system.cc.o" "gcc" "src/sns/CMakeFiles/sns_core.dir/system.cc.o.d"
+  "/root/repo/src/sns/worker_process.cc" "src/sns/CMakeFiles/sns_core.dir/worker_process.cc.o" "gcc" "src/sns/CMakeFiles/sns_core.dir/worker_process.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/sns_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/sns_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/tacc/CMakeFiles/sns_tacc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/content/CMakeFiles/sns_content.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

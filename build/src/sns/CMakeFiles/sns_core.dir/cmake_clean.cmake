@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_core.dir/cache_node.cc.o"
+  "CMakeFiles/sns_core.dir/cache_node.cc.o.d"
+  "CMakeFiles/sns_core.dir/front_end.cc.o"
+  "CMakeFiles/sns_core.dir/front_end.cc.o.d"
+  "CMakeFiles/sns_core.dir/manager.cc.o"
+  "CMakeFiles/sns_core.dir/manager.cc.o.d"
+  "CMakeFiles/sns_core.dir/manager_stub.cc.o"
+  "CMakeFiles/sns_core.dir/manager_stub.cc.o.d"
+  "CMakeFiles/sns_core.dir/messages.cc.o"
+  "CMakeFiles/sns_core.dir/messages.cc.o.d"
+  "CMakeFiles/sns_core.dir/monitor.cc.o"
+  "CMakeFiles/sns_core.dir/monitor.cc.o.d"
+  "CMakeFiles/sns_core.dir/profile_db.cc.o"
+  "CMakeFiles/sns_core.dir/profile_db.cc.o.d"
+  "CMakeFiles/sns_core.dir/system.cc.o"
+  "CMakeFiles/sns_core.dir/system.cc.o.d"
+  "CMakeFiles/sns_core.dir/worker_process.cc.o"
+  "CMakeFiles/sns_core.dir/worker_process.cc.o.d"
+  "libsns_core.a"
+  "libsns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

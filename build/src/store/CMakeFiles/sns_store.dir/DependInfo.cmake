@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/consistent_hash.cc" "src/store/CMakeFiles/sns_store.dir/consistent_hash.cc.o" "gcc" "src/store/CMakeFiles/sns_store.dir/consistent_hash.cc.o.d"
+  "/root/repo/src/store/kvstore.cc" "src/store/CMakeFiles/sns_store.dir/kvstore.cc.o" "gcc" "src/store/CMakeFiles/sns_store.dir/kvstore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_store.dir/consistent_hash.cc.o"
+  "CMakeFiles/sns_store.dir/consistent_hash.cc.o.d"
+  "CMakeFiles/sns_store.dir/kvstore.cc.o"
+  "CMakeFiles/sns_store.dir/kvstore.cc.o.d"
+  "libsns_store.a"
+  "libsns_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tacc/pipeline.cc" "src/tacc/CMakeFiles/sns_tacc.dir/pipeline.cc.o" "gcc" "src/tacc/CMakeFiles/sns_tacc.dir/pipeline.cc.o.d"
+  "/root/repo/src/tacc/profile.cc" "src/tacc/CMakeFiles/sns_tacc.dir/profile.cc.o" "gcc" "src/tacc/CMakeFiles/sns_tacc.dir/profile.cc.o.d"
+  "/root/repo/src/tacc/registry.cc" "src/tacc/CMakeFiles/sns_tacc.dir/registry.cc.o" "gcc" "src/tacc/CMakeFiles/sns_tacc.dir/registry.cc.o.d"
+  "/root/repo/src/tacc/worker.cc" "src/tacc/CMakeFiles/sns_tacc.dir/worker.cc.o" "gcc" "src/tacc/CMakeFiles/sns_tacc.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/content/CMakeFiles/sns_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

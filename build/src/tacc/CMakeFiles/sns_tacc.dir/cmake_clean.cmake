@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_tacc.dir/pipeline.cc.o"
+  "CMakeFiles/sns_tacc.dir/pipeline.cc.o.d"
+  "CMakeFiles/sns_tacc.dir/profile.cc.o"
+  "CMakeFiles/sns_tacc.dir/profile.cc.o.d"
+  "CMakeFiles/sns_tacc.dir/registry.cc.o"
+  "CMakeFiles/sns_tacc.dir/registry.cc.o.d"
+  "CMakeFiles/sns_tacc.dir/worker.cc.o"
+  "CMakeFiles/sns_tacc.dir/worker.cc.o.d"
+  "libsns_tacc.a"
+  "libsns_tacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_tacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_util.dir/logging.cc.o"
+  "CMakeFiles/sns_util.dir/logging.cc.o.d"
+  "CMakeFiles/sns_util.dir/rng.cc.o"
+  "CMakeFiles/sns_util.dir/rng.cc.o.d"
+  "CMakeFiles/sns_util.dir/stats.cc.o"
+  "CMakeFiles/sns_util.dir/stats.cc.o.d"
+  "CMakeFiles/sns_util.dir/status.cc.o"
+  "CMakeFiles/sns_util.dir/status.cc.o.d"
+  "CMakeFiles/sns_util.dir/strings.cc.o"
+  "CMakeFiles/sns_util.dir/strings.cc.o.d"
+  "CMakeFiles/sns_util.dir/time.cc.o"
+  "CMakeFiles/sns_util.dir/time.cc.o.d"
+  "CMakeFiles/sns_util.dir/token_bucket.cc.o"
+  "CMakeFiles/sns_util.dir/token_bucket.cc.o.d"
+  "libsns_util.a"
+  "libsns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_workload.dir/content_universe.cc.o"
+  "CMakeFiles/sns_workload.dir/content_universe.cc.o.d"
+  "CMakeFiles/sns_workload.dir/origin_server.cc.o"
+  "CMakeFiles/sns_workload.dir/origin_server.cc.o.d"
+  "CMakeFiles/sns_workload.dir/playback.cc.o"
+  "CMakeFiles/sns_workload.dir/playback.cc.o.d"
+  "CMakeFiles/sns_workload.dir/size_model.cc.o"
+  "CMakeFiles/sns_workload.dir/size_model.cc.o.d"
+  "CMakeFiles/sns_workload.dir/trace.cc.o"
+  "CMakeFiles/sns_workload.dir/trace.cc.o.d"
+  "libsns_workload.a"
+  "libsns_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_robustness_test.dir/codec_robustness_test.cc.o"
+  "CMakeFiles/codec_robustness_test.dir/codec_robustness_test.cc.o.d"
+  "codec_robustness_test"
+  "codec_robustness_test.pdb"
+  "codec_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

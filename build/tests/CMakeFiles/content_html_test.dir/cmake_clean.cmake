@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_html_test.dir/content_html_test.cc.o"
+  "CMakeFiles/content_html_test.dir/content_html_test.cc.o.d"
+  "content_html_test"
+  "content_html_test.pdb"
+  "content_html_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_html_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_image_test.dir/content_image_test.cc.o"
+  "CMakeFiles/content_image_test.dir/content_image_test.cc.o.d"
+  "content_image_test"
+  "content_image_test.pdb"
+  "content_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extras_test.dir/extras_test.cc.o"
+  "CMakeFiles/extras_test.dir/extras_test.cc.o.d"
+  "extras_test"
+  "extras_test.pdb"
+  "extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

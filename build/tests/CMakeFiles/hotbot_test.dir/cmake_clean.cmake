@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotbot_test.dir/hotbot_test.cc.o"
+  "CMakeFiles/hotbot_test.dir/hotbot_test.cc.o.d"
+  "hotbot_test"
+  "hotbot_test.pdb"
+  "hotbot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotbot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

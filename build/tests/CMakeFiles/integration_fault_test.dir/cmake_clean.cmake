@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_fault_test.dir/integration_fault_test.cc.o"
+  "CMakeFiles/integration_fault_test.dir/integration_fault_test.cc.o.d"
+  "integration_fault_test"
+  "integration_fault_test.pdb"
+  "integration_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

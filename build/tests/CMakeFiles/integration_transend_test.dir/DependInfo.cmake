@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_transend_test.cc" "tests/CMakeFiles/integration_transend_test.dir/integration_transend_test.cc.o" "gcc" "tests/CMakeFiles/integration_transend_test.dir/integration_transend_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/sns_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sns_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/CMakeFiles/sns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tacc/CMakeFiles/sns_tacc.dir/DependInfo.cmake"
+  "/root/repo/build/src/content/CMakeFiles/sns_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/sns_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sns_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

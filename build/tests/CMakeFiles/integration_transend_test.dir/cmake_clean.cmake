@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_transend_test.dir/integration_transend_test.cc.o"
+  "CMakeFiles/integration_transend_test.dir/integration_transend_test.cc.o.d"
+  "integration_transend_test"
+  "integration_transend_test.pdb"
+  "integration_transend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_transend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_stub_test.dir/manager_stub_test.cc.o"
+  "CMakeFiles/manager_stub_test.dir/manager_stub_test.cc.o.d"
+  "manager_stub_test"
+  "manager_stub_test.pdb"
+  "manager_stub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_stub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

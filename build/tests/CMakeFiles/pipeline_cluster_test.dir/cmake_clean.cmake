@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_cluster_test.dir/pipeline_cluster_test.cc.o"
+  "CMakeFiles/pipeline_cluster_test.dir/pipeline_cluster_test.cc.o.d"
+  "pipeline_cluster_test"
+  "pipeline_cluster_test.pdb"
+  "pipeline_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/playback_test.dir/playback_test.cc.o"
+  "CMakeFiles/playback_test.dir/playback_test.cc.o.d"
+  "playback_test"
+  "playback_test.pdb"
+  "playback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/playback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

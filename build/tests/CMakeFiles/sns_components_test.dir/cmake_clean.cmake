@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_components_test.dir/sns_components_test.cc.o"
+  "CMakeFiles/sns_components_test.dir/sns_components_test.cc.o.d"
+  "sns_components_test"
+  "sns_components_test.pdb"
+  "sns_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

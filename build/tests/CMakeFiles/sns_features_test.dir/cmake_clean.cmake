@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_features_test.dir/sns_features_test.cc.o"
+  "CMakeFiles/sns_features_test.dir/sns_features_test.cc.o.d"
+  "sns_features_test"
+  "sns_features_test.pdb"
+  "sns_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_test.dir/store_test.cc.o"
+  "CMakeFiles/store_test.dir/store_test.cc.o.d"
+  "store_test"
+  "store_test.pdb"
+  "store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_fuzz_test.dir/system_fuzz_test.cc.o"
+  "CMakeFiles/system_fuzz_test.dir/system_fuzz_test.cc.o.d"
+  "system_fuzz_test"
+  "system_fuzz_test.pdb"
+  "system_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_test.dir/tacc_test.cc.o"
+  "CMakeFiles/tacc_test.dir/tacc_test.cc.o.d"
+  "tacc_test"
+  "tacc_test.pdb"
+  "tacc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transend_test.dir/transend_test.cc.o"
+  "CMakeFiles/transend_test.dir/transend_test.cc.o.d"
+  "transend_test"
+  "transend_test.pdb"
+  "transend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/content_image_test[1]_include.cmake")
+include("/root/repo/build/tests/content_html_test[1]_include.cmake")
+include("/root/repo/build/tests/tacc_test[1]_include.cmake")
+include("/root/repo/build/tests/manager_stub_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/transend_test[1]_include.cmake")
+include("/root/repo/build/tests/hotbot_test[1]_include.cmake")
+include("/root/repo/build/tests/extras_test[1]_include.cmake")
+include("/root/repo/build/tests/sns_components_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_transend_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/bitstream_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/sns_features_test[1]_include.cmake")
+include("/root/repo/build/tests/playback_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/system_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/messages_test[1]_include.cmake")
