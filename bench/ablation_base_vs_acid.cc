@@ -53,6 +53,9 @@ void Run() {
   int64_t completed_before = client->completed();
   int64_t errors_before = client->errors();
   size_t workers_before = service.system()->live_workers().size();
+  // Beacon counters are cumulative across manager incarnations; snapshot the
+  // pre-crash count so "new incarnation beaconing" means the count moved again.
+  int64_t beacons_before = service.system()->manager()->beacons_sent();
   SimTime crash_at = service.sim()->now();
   service.system()->cluster()->Crash(service.system()->manager_pid());
 
@@ -65,7 +68,7 @@ void Run() {
     if (manager == nullptr) {
       continue;
     }
-    if (new_manager_at == 0 && manager->beacons_sent() > 0) {
+    if (new_manager_at == 0 && manager->beacons_sent() > beacons_before) {
       new_manager_at = service.sim()->now();
     }
     if (manager->KnownWorkerCount() >= workers_before) {

@@ -41,6 +41,26 @@ inline ContentUniverseConfig FixedJpegUniverse(int64_t urls) {
   return config;
 }
 
+// Writes the run's machine-readable observability artifact: the monitor's JSON
+// snapshot (every registry metric, the per-component soft-state view, alarms)
+// plus all collected request traces, as one JSON object. Returns false if the
+// file could not be opened.
+inline bool DumpRunArtifact(SnsSystem* system, const std::string& path) {
+  MonitorProcess* monitor = system->monitor();
+  // Without a monitor (with_monitor=false topologies) fall back to the bare
+  // registry so the artifact still carries the metrics.
+  std::string snapshot = monitor != nullptr ? monitor->ExportJson()
+                                            : system->metrics()->RenderJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "{\"snapshot\":%s,\"traces\":%s}\n", snapshot.c_str(),
+               system->tracer()->ToJson().c_str());
+  std::fclose(f);
+  return true;
+}
+
 // Issues every universe URL once and waits for fetches to land in the cache,
 // eliminating miss penalty from the measurement (as the paper did).
 inline void PrewarmCache(TranSendService* service, PlaybackEngine* client) {

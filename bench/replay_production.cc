@@ -103,6 +103,12 @@ void Run() {
                   static_cast<double>(std::max<int64_t>(cache_hits + cache_misses, 1)),
               static_cast<long long>(cache_hits + cache_misses),
               static_cast<double>(cache_bytes) / 1e6);
+
+  const char* artifact = "replay_production_obs.json";
+  if (benchutil::DumpRunArtifact(service.system(), artifact)) {
+    std::printf("  observability artifact (metrics snapshot + %zu traces): %s\n",
+                service.system()->tracer()->trace_count(), artifact);
+  }
 }
 
 }  // namespace

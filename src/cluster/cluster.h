@@ -19,6 +19,8 @@
 
 #include "src/cluster/process.h"
 #include "src/net/san.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/util/stats.h"
 
@@ -92,6 +94,11 @@ class Cluster {
   Simulator* sim() { return sim_; }
   San* san() { return san_; }
 
+  // Shared observability plane: one metrics registry and one trace collector for
+  // the whole cluster, outliving any individual process (paper §3.1.7 monitor).
+  MetricsRegistry* metrics() { return &metrics_; }
+  TraceCollector* tracer() { return &tracer_; }
+
   int64_t total_spawns() const { return total_spawns_; }
   int64_t total_crashes() const { return total_crashes_; }
 
@@ -111,6 +118,8 @@ class Cluster {
 
   Simulator* sim_;
   San* san_;
+  MetricsRegistry metrics_;
+  TraceCollector tracer_;
   NodeId next_node_ = 0;
   Port next_port_ = 1;
   ProcessId next_pid_ = 1;

@@ -22,6 +22,7 @@
 namespace sns {
 
 class Cluster;
+class MetricsRegistry;
 
 using ProcessId = int64_t;
 constexpr ProcessId kInvalidProcess = -1;
@@ -54,6 +55,21 @@ class Process {
   Simulator* sim() const;
   San* san() const;
   Cluster* cluster() const { return cluster_; }
+
+  // --- Observability -------------------------------------------------------------
+  // Shared cluster-wide instruments; valid once the process is spawned.
+  MetricsRegistry* metrics() const;
+  TraceCollector* tracer() const;
+
+  // Opens a new root trace (e.g. a client issuing a request).
+  TraceContext StartTrace() const;
+  // Derives this process's span context from an incoming message's context;
+  // invalid in, invalid out.
+  TraceContext ChildSpan(const TraceContext& parent) const;
+  // Records a finished span for this process: component/node filled in, end time
+  // is the current sim time. No-op for invalid contexts.
+  void RecordSpan(const TraceContext& ctx, const std::string& operation, SimTime start,
+                  std::string outcome) const;
 
   // Sends from this process's endpoint. msg.src is filled in automatically.
   void Send(Message msg, San::SendOptions opts = {});

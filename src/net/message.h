@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "src/obs/trace.h"
 #include "src/util/time.h"
 
 namespace sns {
@@ -64,6 +65,7 @@ struct Message {
   Transport transport = Transport::kDatagram;
   McastGroup group = -1;     // >= 0 when this was a multicast delivery.
   SimTime sent_at = 0;
+  TraceContext trace;        // Request tracing context; invalid for untraced traffic.
   std::shared_ptr<const Payload> payload;
 };
 

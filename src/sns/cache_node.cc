@@ -1,6 +1,7 @@
 #include "src/sns/cache_node.h"
 
 #include "src/util/logging.h"
+#include "src/util/strings.h"
 
 namespace sns {
 
@@ -12,6 +13,12 @@ CacheNodeProcess::CacheNodeProcess(const SnsConfig& sns_config, const CacheNodeC
              [](const ContentPtr& c) { return c == nullptr ? 0 : c->size(); }) {}
 
 void CacheNodeProcess::OnStart() {
+  std::string prefix = StrFormat("cache.n%d.", node());
+  gets_ = metrics()->GetCounter(prefix + "gets");
+  puts_ = metrics()->GetCounter(prefix + "puts");
+  hits_gauge_ = metrics()->GetGauge(prefix + "hits");
+  misses_gauge_ = metrics()->GetGauge(prefix + "misses");
+  used_bytes_gauge_ = metrics()->GetGauge(prefix + "used_bytes");
   JoinGroup(kGroupManagerBeacon);
   report_timer_ = std::make_unique<PeriodicTimer>(sim(), sns_config_.load_report_period,
                                                   [this] { ReportLoad(); });
@@ -55,20 +62,25 @@ void CacheNodeProcess::OnMessage(const Message& msg) {
 
 void CacheNodeProcess::HandleGet(const Message& msg) {
   auto get = std::static_pointer_cast<const CacheGetPayload>(msg.payload);
+  gets_->Increment();
   ++outstanding_;
-  RunOnCpu(config_.cpu_per_get, [this, get] {
+  TraceContext span = ChildSpan(msg.trace);
+  SimTime start = sim()->now();
+  RunOnCpu(config_.cpu_per_get, [this, get, span, start] {
     --outstanding_;
     auto reply = std::make_shared<CacheReplyPayload>();
     reply->op_id = get->op_id;
     auto value = cache_.Get(get->key);
     reply->hit = value.has_value();
     reply->content = value.has_value() ? *value : nullptr;
+    RecordSpan(span, "cache.get", start, reply->hit ? "hit" : "miss");
     Message out;
     out.dst = get->reply_to;
     out.type = kMsgCacheReply;
     out.transport = Transport::kReliable;
     out.size_bytes = WireSizeOf(*reply);
     out.payload = reply;
+    out.trace = span;
     // Harvest opens (and tears down) a TCP connection per request (§3.1.5); the
     // reply rides the same fresh connection, so no extra setup here.
     Send(std::move(out));
@@ -77,10 +89,14 @@ void CacheNodeProcess::HandleGet(const Message& msg) {
 
 void CacheNodeProcess::HandlePut(const Message& msg) {
   auto put = std::static_pointer_cast<const CachePutPayload>(msg.payload);
-  RunOnCpu(config_.cpu_per_put, [this, put] {
+  puts_->Increment();
+  TraceContext span = ChildSpan(msg.trace);
+  SimTime start = sim()->now();
+  RunOnCpu(config_.cpu_per_put, [this, put, span, start] {
     if (put->content != nullptr) {
       cache_.Put(put->key, put->content);
     }
+    RecordSpan(span, "cache.put", start, "ok");
   });
 }
 
@@ -92,6 +108,9 @@ void CacheNodeProcess::ReportLoad() {
   payload->kind = ComponentKind::kCacheNode;
   payload->component = endpoint();
   payload->queue_length = static_cast<double>(outstanding_);
+  hits_gauge_->Set(static_cast<double>(cache_.hits()));
+  misses_gauge_->Set(static_cast<double>(cache_.misses()));
+  used_bytes_gauge_->Set(static_cast<double>(cache_.used_bytes()));
   Message msg;
   msg.dst = manager_;
   msg.type = kMsgLoadReport;

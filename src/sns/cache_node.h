@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/cluster/process.h"
+#include "src/obs/metrics.h"
 #include "src/sim/timer.h"
 #include "src/sns/config.h"
 #include "src/sns/messages.h"
@@ -56,6 +57,12 @@ class CacheNodeProcess : public Process {
   LruCache<std::string, ContentPtr> cache_;
   Endpoint manager_;
   int64_t outstanding_ = 0;
+  // Registry instruments under "cache.n<node>.*", bound in OnStart.
+  Counter* gets_ = nullptr;
+  Counter* puts_ = nullptr;
+  Gauge* hits_gauge_ = nullptr;
+  Gauge* misses_gauge_ = nullptr;
+  Gauge* used_bytes_gauge_ = nullptr;
   std::unique_ptr<PeriodicTimer> report_timer_;
 };
 

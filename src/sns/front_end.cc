@@ -23,7 +23,7 @@ void RequestContext::CacheGet(const std::string& key, CacheCb cb) {
 }
 
 void RequestContext::CachePut(const std::string& key, ContentPtr content) {
-  fe_->DoCachePut(key, std::move(content));
+  fe_->DoCachePut(this, key, std::move(content));
 }
 
 void RequestContext::Fetch(const std::string& url, ContentCb cb) {
@@ -65,6 +65,16 @@ FrontEndProcess::FrontEndProcess(const SnsConfig& config, const FrontEndOptions&
       stub_(config, &rng_) {}
 
 void FrontEndProcess::OnStart() {
+  std::string prefix = StrFormat("fe.%d.", options_.fe_index);
+  completed_ = metrics()->GetCounter(prefix + "completed_requests");
+  errors_ = metrics()->GetCounter(prefix + "error_responses");
+  task_timeouts_ = metrics()->GetCounter(prefix + "task_timeouts");
+  task_retries_used_ = metrics()->GetCounter(prefix + "task_retries");
+  manager_restarts_ = metrics()->GetCounter(prefix + "manager_restarts");
+  shed_ = metrics()->GetCounter(prefix + "requests_shed");
+  active_gauge_ = metrics()->GetGauge(prefix + "active_requests");
+  queued_gauge_ = metrics()->GetGauge(prefix + "queued_requests");
+  latency_hist_ = metrics()->GetHistogram(prefix + "latency_s", 0.0, 30.0, 3000);
   JoinGroup(kGroupManagerBeacon);
   heartbeat_timer_ =
       std::make_unique<PeriodicTimer>(sim(), Seconds(1), [this] { Heartbeat(); });
@@ -138,8 +148,10 @@ void FrontEndProcess::Heartbeat() {
   payload->kind = ComponentKind::kFrontEnd;
   payload->component = endpoint();
   payload->queue_length = active_;
-  payload->completed_tasks = completed_;
+  payload->completed_tasks = completed_requests();
   payload->fe_index = options_.fe_index;
+  active_gauge_->Set(active_);
+  queued_gauge_->Set(static_cast<double>(accept_queue_.size()));
   Message msg;
   msg.dst = stub_.manager();
   msg.type = kMsgLoadReport;
@@ -157,7 +169,7 @@ void FrontEndProcess::Watchdog() {
     SNS_LOG(kWarning, "front-end") << "manager beacons silent for "
                                    << FormatDuration(stub_.BeaconSilence(sim()->now()))
                                    << "; restarting manager";
-    ++manager_restarts_;
+    manager_restarts_->Increment();
     launcher_->RelaunchManager();
   }
 }
@@ -168,7 +180,8 @@ void FrontEndProcess::HandleClientRequest(const Message& msg) {
   auto request = std::static_pointer_cast<const ClientRequestPayload>(msg.payload);
   if (active_ >= config_.fe_thread_pool_size) {
     if (accept_queue_.size() >= kAcceptQueueCapacity) {
-      ++shed_;
+      shed_->Increment();
+      RecordSpan(ChildSpan(msg.trace), "fe.request", sim()->now(), "shed");
       auto reply = std::make_shared<ClientResponsePayload>();
       reply->client_request_id = request->client_request_id;
       reply->status = ResourceExhaustedError("front end saturated");
@@ -179,17 +192,18 @@ void FrontEndProcess::HandleClientRequest(const Message& msg) {
       out.transport = Transport::kReliable;
       out.size_bytes = 96;
       out.payload = reply;
+      out.trace = msg.trace;
       Send(std::move(out));
       return;
     }
-    accept_queue_.emplace_back(std::move(request), msg.src);
+    accept_queue_.push_back(AcceptedRequest{std::move(request), msg.src, msg.trace});
     return;
   }
-  StartRequest(std::move(request), msg.src);
+  StartRequest(std::move(request), msg.src, msg.trace);
 }
 
 void FrontEndProcess::StartRequest(std::shared_ptr<const ClientRequestPayload> request,
-                                   Endpoint client) {
+                                   Endpoint client, const TraceContext& client_trace) {
   ++active_;
   peak_active_ = std::max(peak_active_, active_);
   auto ctx = std::make_unique<RequestContext>();
@@ -198,6 +212,9 @@ void FrontEndProcess::StartRequest(std::shared_ptr<const ClientRequestPayload> r
   ctx->request_ = std::move(request);
   ctx->client_ = client;
   ctx->started_ = sim()->now();
+  // Join the client's trace, or root a fresh one for untraced callers (tests that
+  // inject requests directly).
+  ctx->trace_ = client_trace.valid() ? ChildSpan(client_trace) : StartTrace();
   RequestContext* raw = ctx.get();
   contexts_[raw->id_] = std::move(ctx);
   // Connection shepherding + dispatch-logic CPU, charged before the logic runs.
@@ -234,21 +251,23 @@ void FrontEndProcess::FinishRequest(RequestContext* ctx, const Status& status,
   out.transport = Transport::kReliable;
   out.size_bytes = WireSizeOf(*reply);
   out.payload = reply;
+  out.trace = ctx->trace_;
   Send(std::move(out));
 
-  latency_hist_.Add(ToSeconds(sim()->now() - ctx->started_));
-  ++completed_;
+  RecordSpan(ctx->trace_, "fe.request", ctx->started_, status.ok() ? "ok" : "error");
+  latency_hist_->Add(ToSeconds(sim()->now() - ctx->started_));
+  completed_->Increment();
   if (!status.ok()) {
-    ++errors_;
+    errors_->Increment();
   }
   ++responses_by_source_[ResponseSourceName(source)];
 
   contexts_.erase(ctx->id_);
   --active_;
   if (!accept_queue_.empty() && active_ < config_.fe_thread_pool_size) {
-    auto [next_request, next_client] = std::move(accept_queue_.front());
+    AcceptedRequest next = std::move(accept_queue_.front());
     accept_queue_.pop_front();
-    StartRequest(std::move(next_request), next_client);
+    StartRequest(std::move(next.request), next.client, next.trace);
   }
 }
 
@@ -294,6 +313,7 @@ void FrontEndProcess::DoGetProfile(RequestContext* ctx, RequestContext::ProfileC
   msg.transport = Transport::kReliable;
   msg.size_bytes = 64 + static_cast<int64_t>(user.size());
   msg.payload = payload;
+  msg.trace = ctx->trace_;
   Send(std::move(msg));
 }
 
@@ -383,6 +403,7 @@ void FrontEndProcess::DoCacheGet(RequestContext* ctx, const std::string& key,
   msg.transport = Transport::kReliable;
   msg.size_bytes = WireSizeOf(*payload);
   msg.payload = payload;
+  msg.trace = ctx->trace_;
   // Harvest's protocol: a fresh TCP connection per cache request (§3.1.5).
   San::SendOptions opts;
   opts.force_new_connection = true;
@@ -405,7 +426,8 @@ void FrontEndProcess::HandleCacheReply(const Message& msg) {
   op.cb(ctx, reply.hit, reply.content);
 }
 
-void FrontEndProcess::DoCachePut(const std::string& key, ContentPtr content) {
+void FrontEndProcess::DoCachePut(RequestContext* ctx, const std::string& key,
+                                 ContentPtr content) {
   auto node = CacheNodeForKey(key);
   if (!node.has_value() || content == nullptr) {
     return;
@@ -419,6 +441,7 @@ void FrontEndProcess::DoCachePut(const std::string& key, ContentPtr content) {
   msg.transport = Transport::kReliable;
   msg.size_bytes = WireSizeOf(*payload);
   msg.payload = payload;
+  msg.trace = ctx->trace_;
   San::SendOptions opts;
   opts.force_new_connection = true;
   Send(std::move(msg), std::move(opts));
@@ -459,6 +482,7 @@ void FrontEndProcess::DoFetch(RequestContext* ctx, const std::string& url,
   msg.transport = Transport::kReliable;
   msg.size_bytes = 96 + static_cast<int64_t>(url.size());
   msg.payload = payload;
+  msg.trace = ctx->trace_;
   Send(std::move(msg));
 }
 
@@ -498,6 +522,7 @@ void FrontEndProcess::DoCallWorker(RequestContext* ctx, const std::string& type,
   task.type = type;
   task.payload = std::move(payload);
   task.cb = std::move(cb);
+  task.trace = ctx->trace_;
   task.attempts_left = config_.task_retries + 1;
   task.spawn_waits_left = 20;
   pending_tasks_[task_id] = std::move(task);
@@ -555,6 +580,7 @@ void FrontEndProcess::AttemptTask(uint64_t task_id) {
       msg.transport = Transport::kReliable;
       msg.size_bytes = 64;
       msg.payload = payload;
+      msg.trace = task.trace;
       Send(std::move(msg));
     }
     After(Milliseconds(300), [this, task_id] { AttemptTask(task_id); });
@@ -568,7 +594,7 @@ void FrontEndProcess::AttemptTask(uint64_t task_id) {
     if (it2 == pending_tasks_.end()) {
       return;
     }
-    ++task_timeouts_;
+    task_timeouts_->Increment();
     stub_.NoteTaskDone(it2->second.worker);
     TaskAttemptFailed(task_id, /*worker_dead=*/false);
   });
@@ -579,6 +605,7 @@ void FrontEndProcess::AttemptTask(uint64_t task_id) {
   msg.transport = Transport::kReliable;
   msg.size_bytes = WireSizeOf(*task.payload);
   msg.payload = task.payload;
+  msg.trace = task.trace;
   San::SendOptions opts;
   opts.on_failed = [this, task_id](const Message&) {
     // Broken connection: the worker process is gone (§3.1.3 fast failure detection).
@@ -606,7 +633,7 @@ void FrontEndProcess::TaskAttemptFailed(uint64_t task_id, bool worker_dead) {
     FailTask(task_id, TimeoutError("worker " + task.type + " did not respond"));
     return;
   }
-  ++task_retries_used_;
+  task_retries_used_->Increment();
   AttemptTask(task_id);
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/cluster/process.h"
+#include "src/obs/metrics.h"
 #include "src/sim/timer.h"
 #include "src/sns/config.h"
 #include "src/sns/launcher.h"
@@ -51,6 +52,9 @@ class RequestContext {
   const ClientRequestPayload& request() const { return *request_; }
   uint64_t id() const { return id_; }
   SimTime started_at() const { return started_; }
+  // This request's span context; facility messages are stamped with it so cache
+  // nodes, workers and the manager record into the same trace.
+  const TraceContext& trace() const { return trace_; }
   SimTime now() const;
   Rng* rng();
 
@@ -96,6 +100,7 @@ class RequestContext {
   SimTime started_ = 0;
   bool responded_ = false;
   UserProfile profile_;
+  TraceContext trace_;
 };
 
 // Service-specific dispatch logic (the Service layer of Figure 2).
@@ -126,13 +131,15 @@ class FrontEndProcess : public Process {
   int active_requests() const { return active_; }
   int queued_requests() const { return static_cast<int>(accept_queue_.size()); }
   int peak_active_requests() const { return peak_active_; }
-  int64_t completed_requests() const { return completed_; }
-  int64_t error_responses() const { return errors_; }
-  int64_t task_timeouts() const { return task_timeouts_; }
-  int64_t task_retries_used() const { return task_retries_used_; }
-  int64_t manager_restarts_triggered() const { return manager_restarts_; }
-  int64_t requests_shed() const { return shed_; }
-  const Histogram& latency_histogram() const { return latency_hist_; }
+  // Counters live in the cluster's MetricsRegistry under "fe.<index>.*"; they are
+  // cumulative across front-end restarts.
+  int64_t completed_requests() const { return CounterOr0(completed_); }
+  int64_t error_responses() const { return CounterOr0(errors_); }
+  int64_t task_timeouts() const { return CounterOr0(task_timeouts_); }
+  int64_t task_retries_used() const { return CounterOr0(task_retries_used_); }
+  int64_t manager_restarts_triggered() const { return CounterOr0(manager_restarts_); }
+  int64_t requests_shed() const { return CounterOr0(shed_); }
+  const Histogram& latency_histogram() const { return *latency_hist_; }
   const std::map<std::string, int64_t>& responses_by_source() const {
     return responses_by_source_;
   }
@@ -144,15 +151,23 @@ class FrontEndProcess : public Process {
  private:
   friend class RequestContext;
 
+  static int64_t CounterOr0(const Counter* c) { return c != nullptr ? c->value() : 0; }
+
   struct PendingTask {
     uint64_t request_id = 0;
     std::string type;
     std::shared_ptr<TaskRequestPayload> payload;
     RequestContext::ContentCb cb;
     Endpoint worker;
+    TraceContext trace;  // The owning request's context, re-stamped on every retry.
     int attempts_left = 0;
     int spawn_waits_left = 0;
     EventId timeout = kInvalidEventId;
+  };
+  struct AcceptedRequest {
+    std::shared_ptr<const ClientRequestPayload> request;
+    Endpoint client;
+    TraceContext trace;  // The client's root context, preserved while queued.
   };
   struct PendingCacheOp {
     uint64_t request_id = 0;
@@ -179,7 +194,8 @@ class FrontEndProcess : public Process {
   void HandleFetchResponse(const Message& msg);
 
   // --- Request lifecycle ------------------------------------------------------------
-  void StartRequest(std::shared_ptr<const ClientRequestPayload> request, Endpoint client);
+  void StartRequest(std::shared_ptr<const ClientRequestPayload> request, Endpoint client,
+                    const TraceContext& client_trace);
   void FinishRequest(RequestContext* ctx, const Status& status, const ContentPtr& content,
                      ResponseSource source, bool cache_hit);
   RequestContext* FindContext(uint64_t request_id);
@@ -188,7 +204,7 @@ class FrontEndProcess : public Process {
   void DoGetProfile(RequestContext* ctx, RequestContext::ProfileCb cb);
   void DoPutProfile(const UserProfile& profile);
   void DoCacheGet(RequestContext* ctx, const std::string& key, RequestContext::CacheCb cb);
-  void DoCachePut(const std::string& key, ContentPtr content);
+  void DoCachePut(RequestContext* ctx, const std::string& key, ContentPtr content);
   void DoFetch(RequestContext* ctx, const std::string& url, RequestContext::ContentCb cb);
   void DoCallWorker(RequestContext* ctx, const std::string& type,
                     std::map<std::string, std::string> args, std::vector<ContentPtr> inputs,
@@ -218,7 +234,7 @@ class FrontEndProcess : public Process {
 
   uint64_t next_id_ = 1;
   std::unordered_map<uint64_t, std::unique_ptr<RequestContext>> contexts_;
-  std::deque<std::pair<std::shared_ptr<const ClientRequestPayload>, Endpoint>> accept_queue_;
+  std::deque<AcceptedRequest> accept_queue_;
   int active_ = 0;
   int peak_active_ = 0;
 
@@ -232,13 +248,16 @@ class FrontEndProcess : public Process {
   std::unique_ptr<PeriodicTimer> heartbeat_timer_;
   std::unique_ptr<PeriodicTimer> watchdog_timer_;
 
-  int64_t completed_ = 0;
-  int64_t errors_ = 0;
-  int64_t task_timeouts_ = 0;
-  int64_t task_retries_used_ = 0;
-  int64_t manager_restarts_ = 0;
-  int64_t shed_ = 0;
-  Histogram latency_hist_{0.0, 30.0, 3000};  // Seconds.
+  // Registry instruments under "fe.<index>.*", bound in OnStart.
+  Counter* completed_ = nullptr;
+  Counter* errors_ = nullptr;
+  Counter* task_timeouts_ = nullptr;
+  Counter* task_retries_used_ = nullptr;
+  Counter* manager_restarts_ = nullptr;
+  Counter* shed_ = nullptr;
+  Gauge* active_gauge_ = nullptr;
+  Gauge* queued_gauge_ = nullptr;
+  Histogram* latency_hist_ = nullptr;  // Seconds.
   std::map<std::string, int64_t> responses_by_source_;
 };
 

@@ -16,6 +16,13 @@ ManagerProcess::ManagerProcess(const SnsConfig& config, ComponentLauncher* launc
       cache_nodes_(config.worker_ttl) {}
 
 void ManagerProcess::OnStart() {
+  beacons_sent_ = metrics()->GetCounter("manager.beacons_sent");
+  reports_received_ = metrics()->GetCounter("manager.reports_received");
+  spawns_initiated_ = metrics()->GetCounter("manager.spawns_initiated");
+  reaps_initiated_ = metrics()->GetCounter("manager.reaps_initiated");
+  fe_restarts_ = metrics()->GetCounter("manager.fe_restarts");
+  profile_db_failovers_ = metrics()->GetCounter("manager.profile_db_failovers");
+  known_workers_ = metrics()->GetGauge("manager.known_workers");
   beacon_timer_ = std::make_unique<PeriodicTimer>(sim(), config_.manager_beacon_period,
                                                   [this] { Beacon(); });
   // First beacon goes out almost immediately so a restarted manager re-announces
@@ -34,9 +41,15 @@ void ManagerProcess::OnMessage(const Message& msg) {
     case kMsgLoadReport:
       HandleLoadReport(static_cast<const LoadReportPayload&>(*msg.payload));
       break;
-    case kMsgSpawnRequest:
-      HandleSpawnRequest(static_cast<const SpawnRequestPayload&>(*msg.payload));
+    case kMsgSpawnRequest: {
+      // A spawn request originates from a request that found no worker; keep it in
+      // that request's trace so spin-up latency is visible end to end.
+      SimTime start = sim()->now();
+      TraceContext span = ChildSpan(msg.trace);
+      bool spawned = HandleSpawnRequest(static_cast<const SpawnRequestPayload&>(*msg.payload));
+      RecordSpan(span, "manager.spawn_request", start, spawned ? "spawned" : "ignored");
       break;
+    }
     default:
       break;
   }
@@ -46,11 +59,7 @@ void ManagerProcess::HandleRegister(const RegisterComponentPayload& p) {
   SimTime now = sim()->now();
   switch (p.kind) {
     case ComponentKind::kWorker: {
-      WorkerState state(config_.load_ewma_alpha);
-      state.worker_type = p.worker_type;
-      state.interchangeable = p.interchangeable;
-      workers_.Refresh(p.component, std::move(state), now);
-      pending_placements_.erase(p.component.node);  // The in-flight spawn landed.
+      UpsertWorker(p.component, p.worker_type, p.interchangeable, now);
       SNS_LOG(kDebug, "manager") << "registered worker " << p.worker_type << " at "
                                  << p.component.ToString();
       break;
@@ -70,8 +79,21 @@ void ManagerProcess::HandleRegister(const RegisterComponentPayload& p) {
   }
 }
 
+ManagerProcess::WorkerState* ManagerProcess::UpsertWorker(const Endpoint& ep,
+                                                          const std::string& worker_type,
+                                                          bool interchangeable, SimTime now) {
+  WorkerState state(config_.load_ewma_alpha);
+  state.worker_type = worker_type;
+  state.interchangeable = interchangeable;
+  workers_.Refresh(ep, std::move(state), now);
+  // Whether explicit or implicit, a registration from this node means the in-flight
+  // spawn (if any) landed.
+  pending_placements_.erase(ep.node);
+  return workers_.GetMutable(ep, now);
+}
+
 void ManagerProcess::HandleLoadReport(const LoadReportPayload& p) {
-  ++reports_received_;
+  reports_received_->Increment();
   // Aggregating an announcement costs CPU; at §4.6's 1800 announcements/s this is
   // what bounds the manager's ultimate capacity.
   RunOnCpu(config_.manager_cpu_per_report, [] {});
@@ -91,10 +113,7 @@ void ManagerProcess::HandleLoadReport(const LoadReportPayload& p) {
       if (state == nullptr) {
         // Unknown sender: treat the report as an implicit (re-)registration — this
         // is how workers rejoin a restarted manager without explicit recovery code.
-        WorkerState fresh(config_.load_ewma_alpha);
-        fresh.worker_type = p.worker_type;
-        workers_.Refresh(p.component, std::move(fresh), now);
-        state = workers_.GetMutable(p.component, now);
+        state = UpsertWorker(p.component, p.worker_type, p.interchangeable, now);
       } else {
         workers_.Touch(p.component, now);
       }
@@ -121,10 +140,11 @@ void ManagerProcess::HandleLoadReport(const LoadReportPayload& p) {
   }
 }
 
-void ManagerProcess::HandleSpawnRequest(const SpawnRequestPayload& p) {
+bool ManagerProcess::HandleSpawnRequest(const SpawnRequestPayload& p) {
   if (KnownWorkerCount(p.worker_type) == 0) {
-    TrySpawn(p.worker_type, /*bypass_cooldown=*/true);
+    return TrySpawn(p.worker_type, /*bypass_cooldown=*/true);
   }
+  return false;
 }
 
 void ManagerProcess::Beacon() {
@@ -153,7 +173,8 @@ void ManagerProcess::Beacon() {
   msg.size_bytes = WireSizeOf(*payload);
   msg.payload = payload;
   SendMulticast(kGroupManagerBeacon, std::move(msg));
-  ++beacons_sent_;
+  beacons_sent_->Increment();
+  known_workers_->Set(static_cast<double>(payload->workers.size()));
 }
 
 void ManagerProcess::ExpireSoftState() {
@@ -165,7 +186,7 @@ void ManagerProcess::ExpireSoftState() {
   front_ends_.Expire(now, [this](const Endpoint& ep, const FrontEndState& state) {
     SNS_LOG(kWarning, "manager") << "front end " << state.fe_index << " at " << ep.ToString()
                                  << " silent; restarting (process peer)";
-    ++fe_restarts_;
+    fe_restarts_->Increment();
     launcher_->RelaunchFrontEnd(state.fe_index);
   });
   cache_nodes_.Expire(now, nullptr);
@@ -175,7 +196,7 @@ void ManagerProcess::ExpireSoftState() {
   if (profile_db_.valid() && profile_db_last_seen_ >= 0 &&
       now - profile_db_last_seen_ > config_.front_end_ttl) {
     SNS_LOG(kWarning, "manager") << "profile DB silent; failing over";
-    ++profile_db_failovers_;
+    profile_db_failovers_->Increment();
     profile_db_last_seen_ = now;  // One failover per TTL window.
     launcher_->RelaunchProfileDb();
   }
@@ -219,7 +240,7 @@ void ManagerProcess::RunPolicy() {
             if (victim != nullptr) {
               SNS_LOG(kInfo, "manager") << "reaping overflow worker " << type << " at "
                                         << ep.ToString();
-              ++reaps_initiated_;
+              reaps_initiated_->Increment();
               RemoveWorker(ep);
               cluster()->Stop(victim->pid());
               it->second = now;  // One reap per idle interval.
@@ -248,7 +269,7 @@ bool ManagerProcess::TrySpawn(const std::string& type, bool bypass_cooldown) {
   }
   last_spawn_[type] = now;
   pending_placements_[node] = now + config_.worker_ttl;
-  ++spawns_initiated_;
+  spawns_initiated_->Increment();
   SNS_LOG(kInfo, "manager") << "spawning " << type << " on node " << node
                             << (cluster()->IsOverflowNode(node) ? " (overflow)" : "");
   launcher_->LaunchWorker(type, node);

@@ -43,12 +43,14 @@ class ManagerProcess : public Process {
   void OnMessage(const Message& msg) override;
 
   // --- Observability -----------------------------------------------------------------
-  int64_t beacons_sent() const { return beacons_sent_; }
-  int64_t reports_received() const { return reports_received_; }
-  int64_t spawns_initiated() const { return spawns_initiated_; }
-  int64_t reaps_initiated() const { return reaps_initiated_; }
-  int64_t fe_restarts() const { return fe_restarts_; }
-  int64_t profile_db_failovers() const { return profile_db_failovers_; }
+  // Counters live in the cluster's MetricsRegistry under "manager.*" and are
+  // cumulative across manager incarnations (the registry outlives the process).
+  int64_t beacons_sent() const { return CounterOr0(beacons_sent_); }
+  int64_t reports_received() const { return CounterOr0(reports_received_); }
+  int64_t spawns_initiated() const { return CounterOr0(spawns_initiated_); }
+  int64_t reaps_initiated() const { return CounterOr0(reaps_initiated_); }
+  int64_t fe_restarts() const { return CounterOr0(fe_restarts_); }
+  int64_t profile_db_failovers() const { return CounterOr0(profile_db_failovers_); }
   size_t KnownWorkerCount() const;
   size_t KnownWorkerCount(const std::string& type) const;
   // Current smoothed queue average across workers of `type` (the spawn metric).
@@ -68,9 +70,16 @@ class ManagerProcess : public Process {
     int fe_index = -1;
   };
 
+  static int64_t CounterOr0(const Counter* c) { return c != nullptr ? c->value() : 0; }
+
   void HandleRegister(const RegisterComponentPayload& p);
   void HandleLoadReport(const LoadReportPayload& p);
-  void HandleSpawnRequest(const SpawnRequestPayload& p);
+  // Returns true if a spawn was initiated.
+  bool HandleSpawnRequest(const SpawnRequestPayload& p);
+  // Shared by explicit registration and the implicit load-report path: installs (or
+  // renews) the worker's soft-state entry and clears the node's in-flight spawn.
+  WorkerState* UpsertWorker(const Endpoint& ep, const std::string& worker_type,
+                            bool interchangeable, SimTime now);
 
   void Beacon();
   void RunPolicy();                 // Spawn / reap decisions, each beacon tick.
@@ -99,12 +108,14 @@ class ManagerProcess : public Process {
   std::unique_ptr<PeriodicTimer> beacon_timer_;
   uint64_t beacon_seq_ = 0;
 
-  int64_t beacons_sent_ = 0;
-  int64_t reports_received_ = 0;
-  int64_t spawns_initiated_ = 0;
-  int64_t reaps_initiated_ = 0;
-  int64_t fe_restarts_ = 0;
-  int64_t profile_db_failovers_ = 0;
+  // Registry-backed instruments, bound in OnStart.
+  Counter* beacons_sent_ = nullptr;
+  Counter* reports_received_ = nullptr;
+  Counter* spawns_initiated_ = nullptr;
+  Counter* reaps_initiated_ = nullptr;
+  Counter* fe_restarts_ = nullptr;
+  Counter* profile_db_failovers_ = nullptr;
+  Gauge* known_workers_ = nullptr;
 };
 
 }  // namespace sns

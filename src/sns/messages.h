@@ -103,6 +103,9 @@ struct LoadReportPayload : Payload {
   Endpoint component;
   double queue_length = 0;       // Paper footnote 2: queue length, optionally weighted.
   int64_t completed_tasks = 0;   // Cumulative, for throughput accounting.
+  // Carried so an implicit (re-)registration via load report preserves the worker's
+  // affinity class just like an explicit RegisterComponent would.
+  bool interchangeable = true;
   int fe_index = -1;
 };
 

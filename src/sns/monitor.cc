@@ -1,5 +1,6 @@
 #include "src/sns/monitor.h"
 
+#include "src/cluster/cluster.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -12,6 +13,9 @@ MonitorProcess::MonitorProcess(const SnsConfig& config, ComponentLauncher* launc
       launcher_(launcher) {}
 
 void MonitorProcess::OnStart() {
+  beacons_observed_ = metrics()->GetCounter("monitor.beacons_observed");
+  reports_observed_ = metrics()->GetCounter("monitor.reports_observed");
+  manager_restarts_ = metrics()->GetCounter("monitor.manager_restarts");
   JoinGroup(kGroupManagerBeacon);
   JoinGroup(kGroupMonitor);
   sweep_timer_ = std::make_unique<PeriodicTimer>(sim(), config_.monitor_report_period,
@@ -29,7 +33,7 @@ void MonitorProcess::OnMessage(const Message& msg) {
   SimTime now = sim()->now();
   switch (msg.type) {
     case kMsgManagerBeacon: {
-      ++beacons_observed_;
+      beacons_observed_->Increment();
       last_beacon_at_ = now;
       const auto& beacon = static_cast<const ManagerBeaconPayload&>(*msg.payload);
       ComponentView manager_view;
@@ -55,7 +59,7 @@ void MonitorProcess::OnMessage(const Message& msg) {
       break;
     }
     case kMsgMonitorReport: {
-      ++reports_observed_;
+      reports_observed_->Increment();
       const auto& report = static_cast<const MonitorReportPayload&>(*msg.payload);
       ComponentView view;
       view.kind = report.kind;
@@ -82,7 +86,7 @@ void MonitorProcess::Sweep() {
       sim()->now() - last_beacon_at_ > config_.manager_silence_restart +
                                            config_.monitor_report_period) {
     Raise("manager", "manager beacons silent with no surviving peer; restarting");
-    ++manager_restarts_;
+    manager_restarts_->Increment();
     last_beacon_at_ = sim()->now();  // One restart attempt per window.
     launcher_->RelaunchManager();
   }
@@ -110,6 +114,39 @@ std::string MonitorProcess::RenderSnapshot() const {
     out += "\n";
   });
   out += StrFormat("  alarms: %zu\n", alarms_.size());
+  return out;
+}
+
+std::string MonitorProcess::ExportJson() const {
+  std::string out = StrFormat("{\"time_ns\":%lld,\"metrics\":",
+                              static_cast<long long>(sim()->now()));
+  out += cluster()->metrics()->RenderJson();
+  out += ",\"components\":[";
+  bool first = true;
+  components_.ForEach(sim()->now(), [&](const Endpoint& ep, const ComponentView& view) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("{\"kind\":\"%s\",\"label\":\"%s\",\"node\":%d,\"port\":%d,\"metrics\":{",
+                     ComponentKindName(view.kind), JsonEscape(view.label).c_str(), ep.node,
+                     ep.port);
+    bool first_metric = true;
+    for (const auto& [key, value] : view.metrics) {
+      if (!first_metric) out += ",";
+      first_metric = false;
+      out += StrFormat("\"%s\":%.6g", JsonEscape(key).c_str(), value);
+    }
+    out += "}}";
+  });
+  out += "],\"alarms\":[";
+  first = true;
+  for (const MonitorAlarm& alarm : alarms_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("{\"time_ns\":%lld,\"component\":\"%s\",\"message\":\"%s\"}",
+                     static_cast<long long>(alarm.when), JsonEscape(alarm.component).c_str(),
+                     JsonEscape(alarm.message).c_str());
+  }
+  out += "]}";
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/cluster/process.h"
+#include "src/obs/metrics.h"
 #include "src/sim/timer.h"
 #include "src/sns/config.h"
 #include "src/sns/launcher.h"
@@ -54,13 +55,18 @@ class MonitorProcess : public Process {
 
   const std::vector<MonitorAlarm>& alarms() const { return alarms_; }
   size_t LiveComponentCount() const;
-  int64_t beacons_observed() const { return beacons_observed_; }
-  int64_t reports_observed() const { return reports_observed_; }
-  int64_t manager_restarts_triggered() const { return manager_restarts_; }
+  int64_t beacons_observed() const { return CounterOr0(beacons_observed_); }
+  int64_t reports_observed() const { return CounterOr0(reports_observed_); }
+  int64_t manager_restarts_triggered() const { return CounterOr0(manager_restarts_); }
 
   // The textual "visualization panel": one line per live component with its kind,
   // location, and most recent metrics.
   std::string RenderSnapshot() const;
+
+  // Machine-readable snapshot: sim time, every registry instrument, the monitor's
+  // per-component soft-state view, and raised alarms, as one JSON object. This is
+  // the artifact the bench harness dumps once per run.
+  std::string ExportJson() const;
 
  private:
   struct ComponentView {
@@ -68,6 +74,8 @@ class MonitorProcess : public Process {
     std::string label;
     std::map<std::string, double> metrics;
   };
+
+  static int64_t CounterOr0(const Counter* c) { return c != nullptr ? c->value() : 0; }
 
   void Sweep();
   void Raise(const std::string& component, const std::string& message);
@@ -78,10 +86,11 @@ class MonitorProcess : public Process {
   std::vector<MonitorAlarm> alarms_;
   ComponentLauncher* launcher_;
   SimTime last_beacon_at_ = -1;
-  int64_t manager_restarts_ = 0;
   std::unique_ptr<PeriodicTimer> sweep_timer_;
-  int64_t beacons_observed_ = 0;
-  int64_t reports_observed_ = 0;
+  // Registry instruments under "monitor.*", bound in OnStart.
+  Counter* beacons_observed_ = nullptr;
+  Counter* reports_observed_ = nullptr;
+  Counter* manager_restarts_ = nullptr;
 };
 
 }  // namespace sns

@@ -113,6 +113,10 @@ class SnsSystem : public ComponentLauncher {
   Simulator* sim() { return &sim_; }
   San* san() { return &san_; }
   Cluster* cluster() { return &cluster_; }
+  // Cluster-wide observability: the metrics registry and trace collector shared by
+  // every component (and surviving component restarts).
+  MetricsRegistry* metrics() { return cluster_.metrics(); }
+  TraceCollector* tracer() { return cluster_.tracer(); }
   const SnsConfig& config() const { return config_; }
   const SystemTopology& topology() const { return topology_; }
 

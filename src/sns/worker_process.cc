@@ -2,6 +2,7 @@
 
 #include "src/cluster/cluster.h"
 #include "src/util/logging.h"
+#include "src/util/strings.h"
 
 namespace sns {
 
@@ -12,6 +13,10 @@ WorkerProcess::WorkerProcess(const SnsConfig& config, TaccWorkerPtr worker)
       type_(worker_->type()) {}
 
 void WorkerProcess::OnStart() {
+  std::string prefix = StrFormat("worker.%s.p%lld.", type_.c_str(), static_cast<long long>(pid()));
+  completed_ = metrics()->GetCounter(prefix + "completed_tasks");
+  rejected_ = metrics()->GetCounter(prefix + "rejected_tasks");
+  queue_gauge_ = metrics()->GetGauge(prefix + "queue_length");
   JoinGroup(kGroupManagerBeacon);
   report_timer_ = std::make_unique<PeriodicTimer>(sim(), config_.load_report_period,
                                                   [this] { ReportLoad(); });
@@ -73,7 +78,9 @@ double WorkerProcess::WeightedQueueLength() const {
 void WorkerProcess::HandleTask(const Message& msg) {
   auto task = std::static_pointer_cast<const TaskRequestPayload>(msg.payload);
   if (queue_.size() >= kQueueCapacity) {
-    ++rejected_;
+    rejected_->Increment();
+    TraceContext span = ChildSpan(msg.trace);
+    RecordSpan(span, "worker.task", sim()->now(), "rejected");
     auto reply = std::make_shared<TaskResponsePayload>();
     reply->task_id = task->task_id;
     reply->status = ResourceExhaustedError("worker queue full");
@@ -84,6 +91,7 @@ void WorkerProcess::HandleTask(const Message& msg) {
     out.transport = Transport::kReliable;
     out.size_bytes = WireSizeOf(*reply);
     out.payload = reply;
+    out.trace = span;
     Send(std::move(out));
     return;
   }
@@ -93,7 +101,8 @@ void WorkerProcess::HandleTask(const Message& msg) {
   probe.args = task->args;
   SimDuration cost = worker_->EstimateCost(probe);
   queued_cost_ += cost;
-  queue_.push_back(QueuedTask{std::move(task), cost});
+  QueuedTask queued{std::move(task), cost, ChildSpan(msg.trace), sim()->now()};
+  queue_.push_back(std::move(queued));
   if (!busy_) {
     StartNext();
   }
@@ -116,7 +125,9 @@ void WorkerProcess::StartNext() {
   request.args = task->args;
 
   SimDuration cost = queued.estimated_cost;
-  RunOnCpu(cost, [this, cost, task, request = std::move(request)] {
+  TraceContext span = queued.trace;
+  SimTime enqueued_at = queued.enqueued_at;
+  RunOnCpu(cost, [this, cost, task, span, enqueued_at, request = std::move(request)] {
     queued_cost_ -= cost;
     // Pathological input: the worker code crashes. The SNS layer's process-peer
     // fault tolerance masks this — no reply is sent; the front end times out or
@@ -127,7 +138,8 @@ void WorkerProcess::StartNext() {
       return;
     }
     TaccResult result = worker_->Process(request);
-    ++completed_;
+    completed_->Increment();
+    RecordSpan(span, "worker.task", enqueued_at, result.status.ok() ? "ok" : "error");
     auto reply = std::make_shared<TaskResponsePayload>();
     reply->task_id = task->task_id;
     reply->status = result.status;
@@ -139,6 +151,7 @@ void WorkerProcess::StartNext() {
     out.transport = Transport::kReliable;
     out.size_bytes = WireSizeOf(*reply);
     out.payload = reply;
+    out.trace = span;
     Send(std::move(out));
     StartNext();
   });
@@ -154,7 +167,9 @@ void WorkerProcess::ReportLoad() {
   payload->component = endpoint();
   payload->queue_length =
       config_.weight_queue_by_cost ? WeightedQueueLength() : QueueLength();
-  payload->completed_tasks = completed_;
+  payload->completed_tasks = completed_tasks();
+  payload->interchangeable = worker_->interchangeable();
+  queue_gauge_->Set(payload->queue_length);
   Message msg;
   msg.dst = manager_;
   msg.type = kMsgLoadReport;

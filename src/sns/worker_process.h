@@ -19,6 +19,7 @@
 #include <string>
 
 #include "src/cluster/process.h"
+#include "src/obs/metrics.h"
 #include "src/sim/timer.h"
 #include "src/sns/config.h"
 #include "src/sns/messages.h"
@@ -42,8 +43,8 @@ class WorkerProcess : public Process {
   // The optionally cost-weighted variant: queued work expressed in multiples of a
   // reference item's cost (footnote 2's "weighted by the expected cost").
   double WeightedQueueLength() const;
-  int64_t completed_tasks() const { return completed_; }
-  int64_t rejected_tasks() const { return rejected_; }
+  int64_t completed_tasks() const { return completed_ != nullptr ? completed_->value() : 0; }
+  int64_t rejected_tasks() const { return rejected_ != nullptr ? rejected_->value() : 0; }
 
   // Max queued tasks before the stub sheds load with RESOURCE_EXHAUSTED.
   static constexpr size_t kQueueCapacity = 2000;
@@ -62,14 +63,19 @@ class WorkerProcess : public Process {
   struct QueuedTask {
     std::shared_ptr<const TaskRequestPayload> payload;
     SimDuration estimated_cost = 0;
+    TraceContext trace;        // This worker's span context for the task.
+    SimTime enqueued_at = 0;   // Span start: queueing time is part of worker latency.
   };
 
   Endpoint manager_;
   std::deque<QueuedTask> queue_;
   SimDuration queued_cost_ = 0;    // Sum over queue_ + the in-service task.
   bool busy_ = false;
-  int64_t completed_ = 0;
-  int64_t rejected_ = 0;
+  // Registry instruments under "worker.<type>.p<pid>.*", bound in OnStart. Keyed by
+  // pid so each incarnation gets fresh counts (worker instances are disposable).
+  Counter* completed_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Gauge* queue_gauge_ = nullptr;
   std::unique_ptr<PeriodicTimer> report_timer_;
 };
 

@@ -85,6 +85,8 @@ double Histogram::Percentile(double p) const {
   double target = p * static_cast<double>(total_);
   double acc = static_cast<double>(underflow_);
   if (target <= acc) {
+    // The quantile falls inside the underflow bucket, whose true extent is
+    // unknown; clamp to the histogram's lower bound.
     return lo_;
   }
   for (size_t i = 0; i < counts_.size(); ++i) {
@@ -95,6 +97,7 @@ double Histogram::Percentile(double p) const {
     }
     acc = next;
   }
+  // Remaining mass is in the overflow bucket; clamp to the upper bound.
   return hi_;
 }
 
@@ -144,6 +147,11 @@ double LogHistogram::Percentile(double p) const {
   p = std::clamp(p, 0.0, 1.0);
   double target = p * static_cast<double>(total_);
   double acc = static_cast<double>(underflow_);
+  if (target <= acc) {
+    // Without this clamp an underflow-heavy distribution drives `frac` negative in
+    // the first occupied bucket and the result lands below the histogram range.
+    return BucketLow(0);
+  }
   for (size_t i = 0; i < counts_.size(); ++i) {
     double next = acc + static_cast<double>(counts_[i]);
     if (target <= next && counts_[i] > 0) {
@@ -153,6 +161,7 @@ double LogHistogram::Percentile(double p) const {
     }
     acc = next;
   }
+  // Remaining mass is in the overflow bucket; clamp to the upper bound.
   return BucketHigh(counts_.size() - 1);
 }
 

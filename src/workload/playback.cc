@@ -78,13 +78,13 @@ Endpoint PlaybackEngine::PickFrontEnd() {
   return fes[fe_rr_];
 }
 
-void PlaybackEngine::SendRequest(const TraceRecord& record,
-                                 std::map<std::string, std::string> params) {
+uint64_t PlaybackEngine::SendRequest(const TraceRecord& record,
+                                     std::map<std::string, std::string> params) {
   ++sent_;
   Endpoint fe = PickFrontEnd();
   if (!fe.valid()) {
     ++send_failures_;  // No live front end at all right now.
-    return;
+    return 0;
   }
   uint64_t id = next_request_id_++;
   auto payload = std::make_shared<ClientRequestPayload>();
@@ -98,9 +98,11 @@ void PlaybackEngine::SendRequest(const TraceRecord& record,
 
   PendingRequest pending;
   pending.sent_at = sim()->now();
+  pending.trace = StartTrace();  // Root span: the whole client-observed request.
   pending.timeout = After(config_.request_timeout, [this, id] {
     auto it = pending_.find(id);
     if (it != pending_.end()) {
+      RecordSpan(it->second.trace, "client.request", it->second.sent_at, "timeout");
       pending_.erase(it);
       ++timeouts_;
     }
@@ -113,18 +115,22 @@ void PlaybackEngine::SendRequest(const TraceRecord& record,
   msg.transport = Transport::kReliable;
   msg.size_bytes = WireSizeOf(*payload);
   msg.payload = payload;
+  msg.trace = pending.trace;
   San::SendOptions opts;
   opts.on_failed = [this, id](const Message&) {
     // The chosen front end is gone; client-side balancing will route the next
     // request elsewhere. This one is counted as a failure.
     auto it = pending_.find(id);
     if (it != pending_.end()) {
+      RecordSpan(it->second.trace, "client.request", it->second.sent_at, "send_failed");
       CancelTimer(it->second.timeout);
       pending_.erase(it);
       ++send_failures_;
     }
   };
+  uint64_t trace_id = pending.trace.trace_id;
   Send(std::move(msg), std::move(opts));
+  return trace_id;
 }
 
 void PlaybackEngine::OnMessage(const Message& msg) {
@@ -137,6 +143,8 @@ void PlaybackEngine::OnMessage(const Message& msg) {
     return;  // Already timed out.
   }
   double latency = ToSeconds(sim()->now() - it->second.sent_at);
+  RecordSpan(it->second.trace, "client.request", it->second.sent_at,
+             reply.status.ok() ? "ok" : "error");
   CancelTimer(it->second.timeout);
   pending_.erase(it);
 

@@ -49,9 +49,10 @@ class PlaybackEngine : public Process {
   // `lead_in` from now.
   void PlayTrace(std::vector<TraceRecord> records, SimDuration lead_in = Seconds(1));
 
-  // One-shot request (tests and examples).
-  void SendRequest(const TraceRecord& record,
-                   std::map<std::string, std::string> params = {});
+  // One-shot request (tests and examples). Returns the trace id of the root span
+  // opened for the request (0 if no front end was reachable).
+  uint64_t SendRequest(const TraceRecord& record,
+                       std::map<std::string, std::string> params = {});
 
   // --- Results --------------------------------------------------------------------
   int64_t sent() const { return sent_; }
@@ -74,6 +75,7 @@ class PlaybackEngine : public Process {
   struct PendingRequest {
     SimTime sent_at = 0;
     EventId timeout = kInvalidEventId;
+    TraceContext trace;  // Root span of the request's end-to-end trace.
   };
 
   void OnMessage(const Message& msg) override;

@@ -286,6 +286,122 @@ TEST(MonitorTest, TracksComponentsAndAlarmsOnSilence) {
   EXPECT_GT(static_cast<int>(monitor->alarms().size()), alarms_before);
 }
 
+// A worker whose instances are NOT interchangeable, like HotBot's statically
+// partitioned search shards (§3.2).
+class ShardWorker : public TaccWorker {
+ public:
+  std::string type() const override { return "search-shard"; }
+  TaccResult Process(const TaccRequest& request) override {
+    return TaccResult::Ok(request.inputs.empty() ? nullptr : request.input());
+  }
+  bool interchangeable() const override { return false; }
+};
+
+// Observes manager beacons (the same multicast the stubs use) and can forge a
+// stub-style dead report, letting tests drive the manager's soft-state paths.
+class BeaconProbe : public Process {
+ public:
+  BeaconProbe() : Process("beacon-probe") {}
+
+  void OnStart() override { JoinGroup(kGroupManagerBeacon); }
+  void OnStop() override { LeaveGroup(kGroupManagerBeacon); }
+  void OnMessage(const Message& msg) override {
+    if (msg.type == kMsgManagerBeacon) {
+      last_beacon_ = static_cast<const ManagerBeaconPayload&>(*msg.payload);
+      ++beacons_seen_;
+    }
+  }
+
+  // Forges the report a front-end stub sends when it observes a worker dead
+  // (broken connection): queue_length = -1.
+  void SendDeadReport(const std::string& worker_type, const Endpoint& worker) {
+    auto payload = std::make_shared<LoadReportPayload>();
+    payload->kind = ComponentKind::kWorker;
+    payload->worker_type = worker_type;
+    payload->component = worker;
+    payload->queue_length = -1;
+    Message msg;
+    msg.dst = last_beacon_.manager;
+    msg.type = kMsgLoadReport;
+    msg.transport = Transport::kDatagram;
+    msg.size_bytes = 80;
+    msg.payload = payload;
+    Send(std::move(msg));
+  }
+
+  const ManagerBeaconPayload& last_beacon() const { return last_beacon_; }
+  int64_t beacons_seen() const { return beacons_seen_; }
+
+ private:
+  ManagerBeaconPayload last_beacon_;
+  int64_t beacons_seen_ = 0;
+};
+
+const WorkerHint* FindHint(const ManagerBeaconPayload& beacon, const Endpoint& worker) {
+  for (const WorkerHint& hint : beacon.workers) {
+    if (hint.endpoint == worker) {
+      return &hint;
+    }
+  }
+  return nullptr;
+}
+
+TEST(ManagerTest, ReregistrationPreservesAffinityClass) {
+  // A non-interchangeable worker must stay non-interchangeable across every
+  // (re-)registration path: the explicit register at startup, the beacon-triggered
+  // re-register after a manager restart, and the implicit re-register via load
+  // report after the manager dropped the entry (a dead report it believed).
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendService service(TinyOptions());
+  service.system()->registry()->Register("search-shard",
+                                         [] { return std::make_unique<ShardWorker>(); });
+  service.Start();
+  service.system()->StartWorker("search-shard");
+
+  NodeConfig probe_node_config;
+  probe_node_config.workers_allowed = false;
+  NodeId probe_node = service.system()->cluster()->AddNode(probe_node_config);
+  auto probe_owner = std::make_unique<BeaconProbe>();
+  BeaconProbe* probe = probe_owner.get();
+  service.system()->cluster()->Spawn(probe_node, std::move(probe_owner));
+
+  service.sim()->RunFor(Seconds(3));
+  auto shards = service.system()->live_workers("search-shard");
+  ASSERT_EQ(shards.size(), 1u);
+  Endpoint shard_ep = shards[0]->endpoint();
+
+  // Explicit registration at startup.
+  ASSERT_GT(probe->beacons_seen(), 0);
+  const WorkerHint* hint = FindHint(probe->last_beacon(), shard_ep);
+  ASSERT_NE(hint, nullptr);
+  EXPECT_FALSE(hint->interchangeable);
+
+  // Manager restart: the worker re-registers when it sees the new incarnation's
+  // first beacon (no recovery code, §3.1.3).
+  ProcessId old_manager = service.system()->manager_pid();
+  service.system()->cluster()->Crash(old_manager);
+  service.sim()->RunFor(Seconds(15));
+  ASSERT_NE(service.system()->manager(), nullptr);
+  ASSERT_NE(service.system()->manager_pid(), old_manager);
+  hint = FindHint(probe->last_beacon(), shard_ep);
+  ASSERT_NE(hint, nullptr);
+  EXPECT_FALSE(hint->interchangeable);
+
+  // Implicit re-registration: a forged dead report makes the manager drop the
+  // entry; the worker's next periodic load report re-creates it. The hint must
+  // carry the worker's real affinity class, not the default.
+  probe->SendDeadReport("search-shard", shard_ep);
+  service.sim()->RunFor(Seconds(3));
+  bool original_still_live = false;
+  for (WorkerProcess* worker : service.system()->live_workers("search-shard")) {
+    original_still_live = original_still_live || worker->endpoint() == shard_ep;
+  }
+  ASSERT_TRUE(original_still_live);
+  hint = FindHint(probe->last_beacon(), shard_ep);
+  ASSERT_NE(hint, nullptr);
+  EXPECT_FALSE(hint->interchangeable);
+}
+
 TEST(MonitorTest, AlarmHandlerInvoked) {
   Logger::Get().set_min_level(LogLevel::kNone);
   TranSendService service(TinyOptions());

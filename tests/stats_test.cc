@@ -67,6 +67,37 @@ TEST(HistogramTest, OutOfRangeGoesToOverflowButCountsTotal) {
   EXPECT_EQ(hist.summary().count(), 3);
 }
 
+TEST(HistogramTest, UnderflowHeavyPercentilesClampToLowerBound) {
+  Histogram hist(10, 20, 10);
+  // 90% of the mass is below the histogram's range.
+  for (int i = 0; i < 90; ++i) {
+    hist.Add(-1.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    hist.Add(15.0);
+  }
+  // Any quantile inside the underflow mass clamps to lo, never below it.
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.9), 10.0);
+  // Quantiles past the underflow mass land in the occupied bucket, in range.
+  double p95 = hist.Percentile(0.95);
+  EXPECT_GE(p95, 10.0);
+  EXPECT_LE(p95, 20.0);
+}
+
+TEST(HistogramTest, OverflowHeavyPercentilesClampToUpperBound) {
+  Histogram hist(0, 10, 10);
+  for (int i = 0; i < 5; ++i) {
+    hist.Add(5.0);
+  }
+  for (int i = 0; i < 95; ++i) {
+    hist.Add(100.0);
+  }
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 10.0);
+}
+
 TEST(LogHistogramTest, BucketsSpanDecades) {
   LogHistogram hist(10, 1e6, 10);
   hist.Add(11);
@@ -83,6 +114,41 @@ TEST(LogHistogramTest, PercentileApproximatesMedian) {
     hist.Add(rng.LogNormal(8.0, 1.0));  // Median e^8 ~ 2981.
   }
   EXPECT_NEAR(hist.Percentile(0.5) / 2981.0, 1.0, 0.1);
+}
+
+TEST(LogHistogramTest, UnderflowHeavyPercentilesClampToLowerBound) {
+  LogHistogram hist(10, 1e3, 10);
+  // Non-positive and sub-range samples all land in underflow: 90% of the mass.
+  for (int i = 0; i < 45; ++i) {
+    hist.Add(0.0);
+  }
+  for (int i = 0; i < 45; ++i) {
+    hist.Add(1.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    hist.Add(100.0);
+  }
+  // Quantiles inside the underflow mass must clamp to the range's lower edge —
+  // previously frac went negative and the result fell below BucketLow(0).
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), hist.BucketLow(0));
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), hist.BucketLow(0));
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.9), hist.BucketLow(0));
+  double p95 = hist.Percentile(0.95);
+  EXPECT_GE(p95, hist.BucketLow(0));
+  EXPECT_LE(p95, 1e3);
+}
+
+TEST(LogHistogramTest, OverflowHeavyPercentilesClampToUpperBound) {
+  LogHistogram hist(10, 1e3, 10);
+  for (int i = 0; i < 5; ++i) {
+    hist.Add(100.0);
+  }
+  for (int i = 0; i < 95; ++i) {
+    hist.Add(1e6);
+  }
+  double top = hist.BucketHigh(hist.bucket_count() - 1);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), top);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), top);
 }
 
 TEST(EwmaTest, FirstSampleDominatesThenSmooths) {
