@@ -66,12 +66,16 @@ std::vector<Endpoint> TranSendService::LiveFrontEnds() const {
 }
 
 PlaybackEngine* TranSendService::AddPlaybackEngine(uint64_t seed) {
+  PlaybackConfig config;
+  config.seed = seed;
+  return AddPlaybackEngine(std::move(config));
+}
+
+PlaybackEngine* TranSendService::AddPlaybackEngine(PlaybackConfig config) {
   NodeConfig client;
   client.workers_allowed = false;
   client.link = options_.client_link;
   NodeId node = system_.cluster()->AddNode(client);
-  PlaybackConfig config;
-  config.seed = seed;
   config.front_ends = [this] { return LiveFrontEnds(); };
   auto engine = std::make_unique<PlaybackEngine>(config);
   PlaybackEngine* raw = engine.get();

@@ -50,6 +50,9 @@ class TranSendService {
   // Adds a playback engine on a fresh client node. The engine balances across live
   // front ends automatically.
   PlaybackEngine* AddPlaybackEngine(uint64_t seed = 0xCAFE);
+  // Variant taking a caller-built config (per-request deadline, timeout, seed);
+  // the engine's front-end callback is wired to this service's live FEs.
+  PlaybackEngine* AddPlaybackEngine(PlaybackConfig config);
 
   SnsSystem* system() { return &system_; }
   Simulator* sim() { return system_.sim(); }

@@ -16,6 +16,7 @@ void CacheNodeProcess::OnStart() {
   std::string prefix = StrFormat("cache.n%d.", node());
   gets_ = metrics()->GetCounter(prefix + "gets");
   puts_ = metrics()->GetCounter(prefix + "puts");
+  expired_gets_ = metrics()->GetCounter(prefix + "expired_gets");
   hits_gauge_ = metrics()->GetGauge(prefix + "hits");
   misses_gauge_ = metrics()->GetGauge(prefix + "misses");
   used_bytes_gauge_ = metrics()->GetGauge(prefix + "used_bytes");
@@ -62,6 +63,13 @@ void CacheNodeProcess::OnMessage(const Message& msg) {
 
 void CacheNodeProcess::HandleGet(const Message& msg) {
   auto get = std::static_pointer_cast<const CacheGetPayload>(msg.payload);
+  if (get->deadline != kTimeNever && sim()->now() >= get->deadline) {
+    // The requester already counted this op as a miss at its deadline; answering
+    // (or even parsing) an expired get would only add load while overloaded.
+    expired_gets_->Increment();
+    RecordSpan(ChildSpan(msg.trace), "cache.get", sim()->now(), "expired");
+    return;
+  }
   gets_->Increment();
   ++outstanding_;
   TraceContext span = ChildSpan(msg.trace);
@@ -73,6 +81,7 @@ void CacheNodeProcess::HandleGet(const Message& msg) {
     auto value = cache_.Get(get->key);
     reply->hit = value.has_value();
     reply->content = value.has_value() ? *value : nullptr;
+    RefreshGauges();
     RecordSpan(span, "cache.get", start, reply->hit ? "hit" : "miss");
     Message out;
     out.dst = get->reply_to;
@@ -90,14 +99,25 @@ void CacheNodeProcess::HandleGet(const Message& msg) {
 void CacheNodeProcess::HandlePut(const Message& msg) {
   auto put = std::static_pointer_cast<const CachePutPayload>(msg.payload);
   puts_->Increment();
+  // Puts occupy the node exactly like gets; leaving them out of `outstanding_`
+  // made a put-heavy cache node look idle to the manager's load view.
+  ++outstanding_;
   TraceContext span = ChildSpan(msg.trace);
   SimTime start = sim()->now();
   RunOnCpu(config_.cpu_per_put, [this, put, span, start] {
+    --outstanding_;
     if (put->content != nullptr) {
       cache_.Put(put->key, put->content);
     }
+    RefreshGauges();
     RecordSpan(span, "cache.put", start, "ok");
   });
+}
+
+void CacheNodeProcess::RefreshGauges() {
+  hits_gauge_->Set(static_cast<double>(cache_.hits()));
+  misses_gauge_->Set(static_cast<double>(cache_.misses()));
+  used_bytes_gauge_->Set(static_cast<double>(cache_.used_bytes()));
 }
 
 void CacheNodeProcess::ReportLoad() {
@@ -108,9 +128,7 @@ void CacheNodeProcess::ReportLoad() {
   payload->kind = ComponentKind::kCacheNode;
   payload->component = endpoint();
   payload->queue_length = static_cast<double>(outstanding_);
-  hits_gauge_->Set(static_cast<double>(cache_.hits()));
-  misses_gauge_->Set(static_cast<double>(cache_.misses()));
-  used_bytes_gauge_->Set(static_cast<double>(cache_.used_bytes()));
+  RefreshGauges();
   Message msg;
   msg.dst = manager_;
   msg.type = kMsgLoadReport;

@@ -50,6 +50,7 @@ class CacheNodeProcess : public Process {
  private:
   void HandleGet(const Message& msg);
   void HandlePut(const Message& msg);
+  void RefreshGauges();
   void ReportLoad();
 
   SnsConfig sns_config_;
@@ -60,6 +61,7 @@ class CacheNodeProcess : public Process {
   // Registry instruments under "cache.n<node>.*", bound in OnStart.
   Counter* gets_ = nullptr;
   Counter* puts_ = nullptr;
+  Counter* expired_gets_ = nullptr;
   Gauge* hits_gauge_ = nullptr;
   Gauge* misses_gauge_ = nullptr;
   Gauge* used_bytes_gauge_ = nullptr;

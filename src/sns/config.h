@@ -37,6 +37,12 @@ struct SnsConfig {
   // FE-side: beacon silence after which the front end declares the manager dead and
   // restarts it (process-peer fault tolerance).
   SimDuration manager_silence_restart = Seconds(4);
+  // How long the manager stub keeps a worker's view (estimator state, in-flight
+  // count) after the worker goes missing from a beacon. Beacons ride best-effort
+  // multicast, so a single dropped datagram must not reset a worker's load
+  // accounting; only sustained absence evicts. Default survives two missed 1 Hz
+  // beacons.
+  SimDuration beacon_absence_grace = Milliseconds(2500);
 
   // --- Load balancing (§3.1.2, §4.5) ---------------------------------------------
   // Weight of the newest report in the manager's weighted moving average.
@@ -66,9 +72,25 @@ struct SnsConfig {
   SimDuration task_timeout = Seconds(6);
   int task_retries = 2;          // "the request will time out and another worker
                                  //  will be chosen" (§3.1.8).
+  // Retry discipline: the n-th retry waits base * 2^(n-1), capped at max, with
+  // ±50% jitter, and excludes the worker that just failed — an instant re-pick
+  // would hammer the same overloaded worker that caused the timeout.
+  SimDuration task_retry_backoff_base = Milliseconds(100);
+  SimDuration task_retry_backoff_max = Seconds(2);
+  // Deadline-aware admission: a worker refuses a task whose remaining budget
+  // cannot cover the queued backlog plus the task's own cost plus this headroom
+  // (the headroom absorbs the reply's network trip). Refusing up front lets the
+  // front end fall back to an approximate answer *early* — the paper's "graceful
+  // degradation" — instead of every queued task limping to exactly its deadline.
+  SimDuration task_admission_headroom = Milliseconds(50);
   SimDuration cache_timeout = Seconds(5);
   SimDuration profile_timeout = Seconds(2);
   SimDuration fetch_timeout = Seconds(110);
+
+  // --- Cache partitioning (§3.1.5, §4.4) -------------------------------------------
+  // Virtual points per cache node on the consistent-hash ring. The ring replaces
+  // mod-N partitioning so a node join/leave remaps only ~1/N of the key space.
+  int cache_ring_vnodes = 64;
 
   // --- Front end (§3.1.1, §4.4) ----------------------------------------------------
   int fe_thread_pool_size = 400;  // "a single front-end of about 400 threads".

@@ -1,6 +1,7 @@
 #include "src/sns/front_end.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -72,6 +73,9 @@ void FrontEndProcess::OnStart() {
   task_retries_used_ = metrics()->GetCounter(prefix + "task_retries");
   manager_restarts_ = metrics()->GetCounter(prefix + "manager_restarts");
   shed_ = metrics()->GetCounter(prefix + "requests_shed");
+  deadline_expired_ = metrics()->GetCounter(prefix + "deadline_expired");
+  retries_backoff_ = metrics()->GetCounter(prefix + "retries_backoff");
+  ring_remaps_ = metrics()->GetCounter(prefix + "ring_remaps");
   active_gauge_ = metrics()->GetGauge(prefix + "active_requests");
   queued_gauge_ = metrics()->GetGauge(prefix + "queued_requests");
   latency_hist_ = metrics()->GetHistogram(prefix + "latency_s", 0.0, 30.0, 3000);
@@ -82,11 +86,15 @@ void FrontEndProcess::OnStart() {
   watchdog_timer_ =
       std::make_unique<PeriodicTimer>(sim(), Seconds(1), [this] { Watchdog(); });
   watchdog_timer_->StartWithDelay(Milliseconds(500.0 + 137.0 * (options_.fe_index % 10)));
+  queue_sweep_timer_ =
+      std::make_unique<PeriodicTimer>(sim(), Milliseconds(250), [this] { ExpireAcceptQueue(); });
+  queue_sweep_timer_->StartWithDelay(Milliseconds(250.0 + 61.0 * (options_.fe_index % 10)));
 }
 
 void FrontEndProcess::OnStop() {
   heartbeat_timer_.reset();
   watchdog_timer_.reset();
+  queue_sweep_timer_.reset();
   LeaveGroup(kGroupManagerBeacon);
 }
 
@@ -118,6 +126,11 @@ void FrontEndProcess::OnMessage(const Message& msg) {
 void FrontEndProcess::HandleBeacon(const ManagerBeaconPayload& beacon) {
   bool new_manager = beacon.manager != stub_.manager();
   stub_.OnBeacon(beacon, sim()->now());
+  uint64_t ring_changes = stub_.cache_membership_changes();
+  if (ring_changes > ring_changes_seen_) {
+    ring_remaps_->Increment(static_cast<int64_t>(ring_changes - ring_changes_seen_));
+    ring_changes_seen_ = ring_changes;
+  }
   if (new_manager) {
     RegisterWithManager();
   }
@@ -150,8 +163,6 @@ void FrontEndProcess::Heartbeat() {
   payload->queue_length = active_;
   payload->completed_tasks = completed_requests();
   payload->fe_index = options_.fe_index;
-  active_gauge_->Set(active_);
-  queued_gauge_->Set(static_cast<double>(accept_queue_.size()));
   Message msg;
   msg.dst = stub_.manager();
   msg.type = kMsgLoadReport;
@@ -178,6 +189,25 @@ void FrontEndProcess::Watchdog() {
 
 void FrontEndProcess::HandleClientRequest(const Message& msg) {
   auto request = std::static_pointer_cast<const ClientRequestPayload>(msg.payload);
+  if (request->deadline != kTimeNever && sim()->now() >= request->deadline) {
+    // Dead on arrival (e.g. queued behind a saturated FE link): reject without
+    // occupying a thread.
+    deadline_expired_->Increment();
+    RecordSpan(ChildSpan(msg.trace), "fe.request", sim()->now(), "deadline_expired");
+    auto reply = std::make_shared<ClientResponsePayload>();
+    reply->client_request_id = request->client_request_id;
+    reply->status = TimeoutError("deadline expired before accept");
+    reply->source = ResponseSource::kError;
+    Message out;
+    out.dst = msg.src;
+    out.type = kMsgClientResponse;
+    out.transport = Transport::kReliable;
+    out.size_bytes = 96;
+    out.payload = reply;
+    out.trace = msg.trace;
+    Send(std::move(out));
+    return;
+  }
   if (active_ >= config_.fe_thread_pool_size) {
     if (accept_queue_.size() >= kAcceptQueueCapacity) {
       shed_->Increment();
@@ -196,7 +226,10 @@ void FrontEndProcess::HandleClientRequest(const Message& msg) {
       Send(std::move(out));
       return;
     }
-    accept_queue_.push_back(AcceptedRequest{std::move(request), msg.src, msg.trace});
+    SimTime deadline = request->deadline;
+    accept_queue_.push_back(
+        AcceptedRequest{std::move(request), msg.src, msg.trace, sim()->now(), deadline});
+    queued_gauge_->Set(static_cast<double>(accept_queue_.size()));
     return;
   }
   StartRequest(std::move(request), msg.src, msg.trace);
@@ -206,12 +239,14 @@ void FrontEndProcess::StartRequest(std::shared_ptr<const ClientRequestPayload> r
                                    Endpoint client, const TraceContext& client_trace) {
   ++active_;
   peak_active_ = std::max(peak_active_, active_);
+  active_gauge_->Set(active_);
   auto ctx = std::make_unique<RequestContext>();
   ctx->fe_ = this;
   ctx->id_ = next_id_++;
   ctx->request_ = std::move(request);
   ctx->client_ = client;
   ctx->started_ = sim()->now();
+  ctx->deadline_ = ctx->request_->deadline;
   // Join the client's trace, or root a fresh one for untraced callers (tests that
   // inject requests directly).
   ctx->trace_ = client_trace.valid() ? ChildSpan(client_trace) : StartTrace();
@@ -239,11 +274,29 @@ void FrontEndProcess::FinishRequest(RequestContext* ctx, const Status& status,
     return;
   }
   ctx->responded_ = true;
+  // Deadline backstop: a request never *completes* after its deadline — the client
+  // has stopped waiting, so a late success is converted into an explicit timeout
+  // (and the content dropped) rather than pretending the work arrived in time.
+  // Inclusive comparison: a response finished exactly AT the deadline still has a
+  // network trip ahead of it, so the client would observe it late.
+  Status final_status = status;
+  ContentPtr final_content = content;
+  ResponseSource final_source = source;
+  bool expired_late = ctx->deadline_ != kTimeNever && sim()->now() >= ctx->deadline_;
+  if (expired_late && status.ok()) {
+    final_status = TimeoutError("deadline exceeded before completion");
+    final_content = nullptr;
+    final_source = ResponseSource::kError;
+    cache_hit = false;
+  }
+  if (expired_late) {
+    deadline_expired_->Increment();
+  }
   auto reply = std::make_shared<ClientResponsePayload>();
   reply->client_request_id = ctx->request_->client_request_id;
-  reply->status = status;
-  reply->content = content;
-  reply->source = source;
+  reply->status = final_status;
+  reply->content = final_content;
+  reply->source = final_source;
   reply->cache_hit = cache_hit;
   Message out;
   out.dst = ctx->client_;
@@ -254,21 +307,73 @@ void FrontEndProcess::FinishRequest(RequestContext* ctx, const Status& status,
   out.trace = ctx->trace_;
   Send(std::move(out));
 
-  RecordSpan(ctx->trace_, "fe.request", ctx->started_, status.ok() ? "ok" : "error");
+  RecordSpan(ctx->trace_, "fe.request", ctx->started_,
+             expired_late ? "deadline_expired" : (final_status.ok() ? "ok" : "error"));
   latency_hist_->Add(ToSeconds(sim()->now() - ctx->started_));
   completed_->Increment();
-  if (!status.ok()) {
+  if (!final_status.ok()) {
     errors_->Increment();
   }
-  ++responses_by_source_[ResponseSourceName(source)];
+  ++responses_by_source_[ResponseSourceName(final_source)];
 
   contexts_.erase(ctx->id_);
   --active_;
-  if (!accept_queue_.empty() && active_ < config_.fe_thread_pool_size) {
+  active_gauge_->Set(active_);
+  DrainAcceptQueue();
+}
+
+void FrontEndProcess::DrainAcceptQueue() {
+  while (!accept_queue_.empty() && active_ < config_.fe_thread_pool_size) {
     AcceptedRequest next = std::move(accept_queue_.front());
     accept_queue_.pop_front();
+    if (next.deadline != kTimeNever && sim()->now() >= next.deadline) {
+      ExpireQueuedRequest(next);
+      continue;
+    }
     StartRequest(std::move(next.request), next.client, next.trace);
   }
+  queued_gauge_->Set(static_cast<double>(accept_queue_.size()));
+}
+
+void FrontEndProcess::ExpireAcceptQueue() {
+  if (accept_queue_.empty()) {
+    return;
+  }
+  SimTime now = sim()->now();
+  auto expired = [now](const AcceptedRequest& e) {
+    return e.deadline != kTimeNever && now >= e.deadline;
+  };
+  for (const AcceptedRequest& entry : accept_queue_) {
+    if (expired(entry)) {
+      ExpireQueuedRequest(entry);
+    }
+  }
+  accept_queue_.erase(std::remove_if(accept_queue_.begin(), accept_queue_.end(), expired),
+                      accept_queue_.end());
+  queued_gauge_->Set(static_cast<double>(accept_queue_.size()));
+}
+
+void FrontEndProcess::ExpireQueuedRequest(const AcceptedRequest& entry) {
+  deadline_expired_->Increment();
+  // The request died waiting for a thread; record the span so queue deaths are
+  // visible in traces, not just the counter.
+  RecordSpan(ChildSpan(entry.trace), "fe.request", entry.enqueued_at, "deadline_expired");
+  auto reply = std::make_shared<ClientResponsePayload>();
+  reply->client_request_id = entry.request->client_request_id;
+  reply->status = TimeoutError("deadline expired in accept queue");
+  reply->source = ResponseSource::kError;
+  Message out;
+  out.dst = entry.client;
+  out.type = kMsgClientResponse;
+  out.transport = Transport::kReliable;
+  out.size_bytes = 96;
+  out.payload = reply;
+  out.trace = entry.trace;
+  Send(std::move(out));
+}
+
+SimDuration FrontEndProcess::RemainingBudget(const RequestContext* ctx) const {
+  return ctx->deadline_ == kTimeNever ? kTimeNever : ctx->deadline_ - sim()->now();
 }
 
 // ---------- Profile facility -----------------------------------------------------------
@@ -281,7 +386,9 @@ void FrontEndProcess::DoGetProfile(RequestContext* ctx, RequestContext::ProfileC
     return;
   }
   const Endpoint& db = stub_.profile_db();
-  if (!db.valid()) {
+  SimDuration budget = RemainingBudget(ctx);
+  if (!db.valid() || budget <= 0) {
+    // No DB, or no time left to ask it: BASE fallback to an empty profile.
     cb(ctx, false, UserProfile(user));
     return;
   }
@@ -293,7 +400,7 @@ void FrontEndProcess::DoGetProfile(RequestContext* ctx, RequestContext::ProfileC
   PendingProfileOp op;
   op.request_id = ctx->id_;
   op.cb = std::move(cb);
-  op.timeout = After(config_.profile_timeout, [this, op_id] {
+  op.timeout = After(CapToBudget(config_.profile_timeout, budget), [this, op_id] {
     auto it = pending_profile_.find(op_id);
     if (it == pending_profile_.end()) {
       return;
@@ -359,21 +466,17 @@ void FrontEndProcess::DoPutProfile(const UserProfile& profile) {
 // ---------- Cache facility ------------------------------------------------------------
 
 std::optional<Endpoint> FrontEndProcess::CacheNodeForKey(const std::string& key) {
-  const std::vector<Endpoint>& nodes = stub_.cache_nodes();
-  if (nodes.empty()) {
-    return std::nullopt;
-  }
-  // Hash the key space across partitions; membership changes re-hash automatically
-  // because the node list comes from the (soft-state) beacon.
-  uint64_t h = Fnv1a(key);
-  return nodes[h % nodes.size()];
+  // Consistent-hash ring over the (soft-state) beaconed membership: a node
+  // join/leave remaps only ~1/N of the key space instead of nearly all of it.
+  return stub_.CacheNodeForKey(key);
 }
 
 void FrontEndProcess::DoCacheGet(RequestContext* ctx, const std::string& key,
                                  RequestContext::CacheCb cb) {
   auto node = CacheNodeForKey(key);
-  if (!node.has_value()) {
-    cb(ctx, false, nullptr);
+  SimDuration budget = RemainingBudget(ctx);
+  if (!node.has_value() || budget <= 0) {
+    cb(ctx, false, nullptr);  // No time to probe == miss (caching is an optimization).
     return;
   }
   uint64_t op_id = next_id_++;
@@ -381,10 +484,11 @@ void FrontEndProcess::DoCacheGet(RequestContext* ctx, const std::string& key,
   payload->op_id = op_id;
   payload->key = key;
   payload->reply_to = endpoint();
+  payload->deadline = ctx->deadline_;
   PendingCacheOp op;
   op.request_id = ctx->id_;
   op.cb = std::move(cb);
-  op.timeout = After(config_.cache_timeout, [this, op_id] {
+  op.timeout = After(CapToBudget(config_.cache_timeout, budget), [this, op_id] {
     auto it = pending_cache_.find(op_id);
     if (it == pending_cache_.end()) {
       return;
@@ -455,15 +559,21 @@ void FrontEndProcess::DoFetch(RequestContext* ctx, const std::string& url,
     cb(ctx, UnavailableError("no origin configured"), nullptr);
     return;
   }
+  SimDuration budget = RemainingBudget(ctx);
+  if (budget <= 0) {
+    cb(ctx, TimeoutError("deadline exceeded before origin fetch"), nullptr);
+    return;
+  }
   uint64_t op_id = next_id_++;
   auto payload = std::make_shared<FetchRequestPayload>();
   payload->op_id = op_id;
   payload->url = url;
   payload->reply_to = endpoint();
+  payload->deadline = ctx->deadline_;
   PendingFetchOp op;
   op.request_id = ctx->id_;
   op.cb = std::move(cb);
-  op.timeout = After(config_.fetch_timeout, [this, op_id] {
+  op.timeout = After(CapToBudget(config_.fetch_timeout, budget), [this, op_id] {
     auto it = pending_fetch_.find(op_id);
     if (it == pending_fetch_.end()) {
       return;
@@ -516,6 +626,7 @@ void FrontEndProcess::DoCallWorker(RequestContext* ctx, const std::string& type,
   payload->profile = ctx->profile_;  // TACC: profiles ride along automatically (§2.3).
   payload->args = std::move(args);
   payload->reply_to = endpoint();
+  payload->deadline = ctx->deadline_;
 
   PendingTask task;
   task.request_id = ctx->id_;
@@ -562,7 +673,13 @@ void FrontEndProcess::AttemptTask(uint64_t task_id) {
     pending_tasks_.erase(it);
     return;
   }
-  auto worker = stub_.PickWorker(task.type, sim()->now());
+  SimDuration budget = RemainingBudget(ctx);
+  if (budget <= 0) {
+    FailTask(task_id, TimeoutError("deadline exceeded before task dispatch"));
+    return;
+  }
+  const Endpoint* exclude = task.avoid.valid() ? &task.avoid : nullptr;
+  auto worker = stub_.PickWorker(task.type, sim()->now(), exclude);
   if (!worker.has_value()) {
     // No live worker known: ask the manager to spawn one and retry shortly
     // ("the manager ... locates an appropriate distiller, spawning a new one if
@@ -589,7 +706,7 @@ void FrontEndProcess::AttemptTask(uint64_t task_id) {
 
   task.worker = *worker;
   stub_.NoteTaskSent(*worker);
-  task.timeout = After(config_.task_timeout, [this, task_id] {
+  task.timeout = After(CapToBudget(config_.task_timeout, budget), [this, task_id] {
     auto it2 = pending_tasks_.find(task_id);
     if (it2 == pending_tasks_.end()) {
       return;
@@ -626,6 +743,9 @@ void FrontEndProcess::TaskAttemptFailed(uint64_t task_id, bool worker_dead) {
     return;
   }
   PendingTask& task = it->second;
+  // The next attempt avoids the worker that just failed: re-picking it instantly
+  // would hammer the very node whose overload caused the timeout.
+  task.avoid = task.worker;
   if (worker_dead && stub_.NoteWorkerDead(task.worker)) {
     ReportWorkerDead(task.worker, task.type);
   }
@@ -634,7 +754,31 @@ void FrontEndProcess::TaskAttemptFailed(uint64_t task_id, bool worker_dead) {
     return;
   }
   task_retries_used_->Increment();
-  AttemptTask(task_id);
+  if (worker_dead) {
+    // Broken connection: the worker is gone, not overloaded. Retrying elsewhere
+    // immediately is safe (the dead worker was already dropped from the stub).
+    AttemptTask(task_id);
+    return;
+  }
+  // Timeout: back off exponentially with ±50% jitter before retrying, so a burst
+  // of timed-out tasks does not stampede the surviving workers in lockstep.
+  int retry_index = config_.task_retries + 1 - task.attempts_left;  // 1st retry = 1.
+  double scale = std::pow(2.0, retry_index - 1) * rng_.Uniform(0.5, 1.5);
+  auto delay = static_cast<SimDuration>(
+      static_cast<double>(config_.task_retry_backoff_base) * scale);
+  delay = std::min(delay, config_.task_retry_backoff_max);
+  RequestContext* ctx = FindContext(task.request_id);
+  if (ctx != nullptr) {
+    SimDuration budget = RemainingBudget(ctx);
+    if (budget != kTimeNever && budget <= delay) {
+      // No time to wait out the backoff and run the task: fail now instead of
+      // holding the thread until the deadline kills it anyway.
+      FailTask(task_id, TimeoutError("deadline exceeded during retry backoff"));
+      return;
+    }
+  }
+  retries_backoff_->Increment();
+  After(delay, [this, task_id] { AttemptTask(task_id); });
 }
 
 void FrontEndProcess::FailTask(uint64_t task_id, Status status) {
@@ -674,6 +818,16 @@ void FrontEndProcess::HandleTaskResponse(const Message& msg) {
   auto it = pending_tasks_.find(reply.task_id);
   if (it == pending_tasks_.end()) {
     return;  // Late response after a timeout-triggered retry; drop it.
+  }
+  if (reply.status.code() == StatusCode::kResourceExhausted &&
+      it->second.attempts_left > 1) {
+    // Overload rejection: the worker refused the task without running it (queue
+    // full, or the backlog cannot meet the deadline). Retry on another worker
+    // through the same backoff discipline as a timeout.
+    CancelTimer(it->second.timeout);
+    stub_.NoteTaskDone(it->second.worker);
+    TaskAttemptFailed(reply.task_id, /*worker_dead=*/false);
+    return;
   }
   PendingTask task = std::move(it->second);
   pending_tasks_.erase(it);

@@ -52,6 +52,9 @@ class RequestContext {
   const ClientRequestPayload& request() const { return *request_; }
   uint64_t id() const { return id_; }
   SimTime started_at() const { return started_; }
+  // Absolute deadline carried by the client request (kTimeNever if none). Facility
+  // ops are budget-capped against it and a request never completes after it.
+  SimTime deadline() const { return deadline_; }
   // This request's span context; facility messages are stamped with it so cache
   // nodes, workers and the manager record into the same trace.
   const TraceContext& trace() const { return trace_; }
@@ -98,6 +101,7 @@ class RequestContext {
   std::shared_ptr<const ClientRequestPayload> request_;
   Endpoint client_;
   SimTime started_ = 0;
+  SimTime deadline_ = kTimeNever;
   bool responded_ = false;
   UserProfile profile_;
   TraceContext trace_;
@@ -139,6 +143,9 @@ class FrontEndProcess : public Process {
   int64_t task_retries_used() const { return CounterOr0(task_retries_used_); }
   int64_t manager_restarts_triggered() const { return CounterOr0(manager_restarts_); }
   int64_t requests_shed() const { return CounterOr0(shed_); }
+  int64_t deadline_expired() const { return CounterOr0(deadline_expired_); }
+  int64_t retries_backoff() const { return CounterOr0(retries_backoff_); }
+  int64_t ring_remaps() const { return CounterOr0(ring_remaps_); }
   const Histogram& latency_histogram() const { return *latency_hist_; }
   const std::map<std::string, int64_t>& responses_by_source() const {
     return responses_by_source_;
@@ -159,6 +166,7 @@ class FrontEndProcess : public Process {
     std::shared_ptr<TaskRequestPayload> payload;
     RequestContext::ContentCb cb;
     Endpoint worker;
+    Endpoint avoid;      // The worker the previous attempt failed on; retries skip it.
     TraceContext trace;  // The owning request's context, re-stamped on every retry.
     int attempts_left = 0;
     int spawn_waits_left = 0;
@@ -168,6 +176,8 @@ class FrontEndProcess : public Process {
     std::shared_ptr<const ClientRequestPayload> request;
     Endpoint client;
     TraceContext trace;  // The client's root context, preserved while queued.
+    SimTime enqueued_at = 0;
+    SimTime deadline = kTimeNever;
   };
   struct PendingCacheOp {
     uint64_t request_id = 0;
@@ -199,6 +209,19 @@ class FrontEndProcess : public Process {
   void FinishRequest(RequestContext* ctx, const Status& status, const ContentPtr& content,
                      ResponseSource source, bool cache_hit);
   RequestContext* FindContext(uint64_t request_id);
+  // Dequeues queued requests into free threads, dropping expired entries on the way.
+  void DrainAcceptQueue();
+  // Evicts every expired entry from the accept queue (the periodic sweep, so an
+  // expired request does not wait for a free thread just to be rejected).
+  void ExpireAcceptQueue();
+  // Responds "deadline exceeded" for a request that died while still queued.
+  void ExpireQueuedRequest(const AcceptedRequest& entry);
+  // Time left until `ctx`'s deadline; kTimeNever when the request has none.
+  SimDuration RemainingBudget(const RequestContext* ctx) const;
+  // An op timeout never extends past the request's remaining deadline budget.
+  static SimDuration CapToBudget(SimDuration timeout, SimDuration budget) {
+    return budget == kTimeNever ? timeout : std::min(timeout, budget);
+  }
 
   // --- Facilities used by RequestContext ---------------------------------------------
   void DoGetProfile(RequestContext* ctx, RequestContext::ProfileCb cb);
@@ -247,6 +270,10 @@ class FrontEndProcess : public Process {
 
   std::unique_ptr<PeriodicTimer> heartbeat_timer_;
   std::unique_ptr<PeriodicTimer> watchdog_timer_;
+  std::unique_ptr<PeriodicTimer> queue_sweep_timer_;
+
+  // Ring membership changes already exported to ring_remaps_ (per incarnation).
+  uint64_t ring_changes_seen_ = 0;
 
   // Registry instruments under "fe.<index>.*", bound in OnStart.
   Counter* completed_ = nullptr;
@@ -255,6 +282,9 @@ class FrontEndProcess : public Process {
   Counter* task_retries_used_ = nullptr;
   Counter* manager_restarts_ = nullptr;
   Counter* shed_ = nullptr;
+  Counter* deadline_expired_ = nullptr;
+  Counter* retries_backoff_ = nullptr;
+  Counter* ring_remaps_ = nullptr;
   Gauge* active_gauge_ = nullptr;
   Gauge* queued_gauge_ = nullptr;
   Histogram* latency_hist_ = nullptr;  // Seconds.

@@ -5,6 +5,12 @@
 namespace sns {
 
 void ManagerStub::OnBeacon(const ManagerBeaconPayload& beacon, SimTime now) {
+  if (beacon.manager != manager_) {
+    // New manager incarnation: its hints are authoritative; drop any view carried
+    // over from the previous incarnation rather than letting it age through the
+    // grace window.
+    workers_.clear();
+  }
   manager_ = beacon.manager;
   last_beacon_ = now;
   ++beacons_seen_;
@@ -17,19 +23,52 @@ void ManagerStub::OnBeacon(const ManagerBeaconPayload& beacon, SimTime now) {
     auto it = workers_.find(hint.endpoint);
     if (it != workers_.end()) {
       view = std::move(it->second);
+      workers_.erase(it);
     }
     view.type = hint.worker_type;
     view.hint_queue = hint.smoothed_queue;
     view.estimator.Observe(hint.smoothed_queue, ToSeconds(now));
+    view.last_seen = now;
     next[hint.endpoint] = std::move(view);
+  }
+  // Workers absent from this beacon keep their view (estimator, in-flight count)
+  // through a short grace window: beacons ride best-effort multicast, and one
+  // dropped datagram must not zero a worker's load accounting and skew the
+  // lottery. Sustained absence evicts.
+  for (auto& [ep, view] : workers_) {
+    if (now - view.last_seen <= config_.beacon_absence_grace) {
+      next[ep] = std::move(view);
+    }
   }
   workers_ = std::move(next);
 
-  cache_nodes_ = beacon.cache_nodes;
-  std::sort(cache_nodes_.begin(), cache_nodes_.end(), [](const Endpoint& a, const Endpoint& b) {
+  // Maintain the cache ring incrementally so surviving nodes keep their keys.
+  std::vector<Endpoint> fresh = beacon.cache_nodes;
+  std::sort(fresh.begin(), fresh.end(), [](const Endpoint& a, const Endpoint& b) {
     return a.node != b.node ? a.node < b.node : a.port < b.port;
   });
+  for (const Endpoint& ep : cache_nodes_) {
+    if (std::find(fresh.begin(), fresh.end(), ep) == fresh.end()) {
+      cache_ring_.RemoveMember(RingMemberId(ep));
+      ++cache_membership_changes_;
+    }
+  }
+  for (const Endpoint& ep : fresh) {
+    if (!cache_ring_.HasMember(RingMemberId(ep))) {
+      cache_ring_.AddMember(RingMemberId(ep));
+      ++cache_membership_changes_;
+    }
+  }
+  cache_nodes_ = std::move(fresh);
   profile_db_ = beacon.profile_db;
+}
+
+std::optional<Endpoint> ManagerStub::CacheNodeForKey(const std::string& key) const {
+  auto member = cache_ring_.Lookup(key);
+  if (!member.has_value()) {
+    return std::nullopt;
+  }
+  return RingMemberEndpoint(*member);
 }
 
 double ManagerStub::PredictedQueue(const Endpoint& worker, SimTime now) const {
@@ -46,19 +85,33 @@ double ManagerStub::PredictedQueue(const Endpoint& worker, SimTime now) const {
   return std::max(queue, 0.0);
 }
 
-std::optional<Endpoint> ManagerStub::PickWorker(const std::string& type, SimTime now) {
+std::optional<Endpoint> ManagerStub::PickWorker(const std::string& type, SimTime now,
+                                                const Endpoint* exclude) {
   std::vector<Endpoint> candidates;
   std::vector<double> weights;
+  bool excluded_any = false;
   for (const auto& [ep, view] : workers_) {
-    if (view.type == type) {
-      candidates.push_back(ep);
-      double queue = PredictedQueue(ep, now);
-      // Lottery tickets inversely proportional to predicted queue depth.
-      weights.push_back(1.0 / (1.0 + queue));
+    if (view.type != type) {
+      continue;
     }
+    if (exclude != nullptr && ep == *exclude) {
+      excluded_any = true;
+      continue;
+    }
+    candidates.push_back(ep);
+    double queue = PredictedQueue(ep, now);
+    // Lottery tickets inversely proportional to predicted queue depth.
+    weights.push_back(1.0 / (1.0 + queue));
   }
   if (candidates.empty()) {
-    return std::nullopt;
+    // Only the excluded worker exists: better it than nothing (it may merely be
+    // slow), so fall back rather than failing the task outright.
+    if (excluded_any) {
+      candidates.push_back(*exclude);
+      weights.push_back(1.0);
+    } else {
+      return std::nullopt;
+    }
   }
   switch (config_.balance_policy) {
     case BalancePolicy::kLottery:

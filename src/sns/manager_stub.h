@@ -8,8 +8,15 @@
 //     successive reports and extrapolates — the fix that eliminated the load
 //     oscillations of §4.5;
 //   - optimistically counts its own in-flight tasks against a worker's queue;
+//   - keeps a worker's view through a short grace window when the worker is merely
+//     absent from one beacon (beacons ride best-effort multicast), so a dropped
+//     datagram does not zero the worker's in-flight accounting;
 //   - uses timeouts and broken-connection signals to recover from choices based on
 //     stale data (§3.1.8), reporting observed-dead workers back to the manager.
+//
+// The stub also owns the "single virtual cache" view (§3.1.5): cache partitions are
+// arranged on a consistent-hash ring so that a node join/leave remaps only ~1/N of
+// the key space instead of nearly all of it.
 //
 // The stub also tracks manager liveness: if beacons stop for too long, the front
 // end (a process peer) restarts the manager.
@@ -25,6 +32,7 @@
 
 #include "src/sns/config.h"
 #include "src/sns/messages.h"
+#include "src/store/consistent_hash.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/time.h"
@@ -33,13 +41,17 @@ namespace sns {
 
 class ManagerStub {
  public:
-  ManagerStub(const SnsConfig& config, Rng* rng) : config_(config), rng_(rng) {}
+  ManagerStub(const SnsConfig& config, Rng* rng)
+      : config_(config), rng_(rng), cache_ring_(config.cache_ring_vnodes) {}
 
   // Feed a received beacon into the cache.
   void OnBeacon(const ManagerBeaconPayload& beacon, SimTime now);
 
-  // Lottery-schedules a worker of `type`; nullopt if none is known alive.
-  std::optional<Endpoint> PickWorker(const std::string& type, SimTime now);
+  // Lottery-schedules a worker of `type`; nullopt if none is known alive. When
+  // `exclude` is given (the worker a retry just failed on), it is picked only if
+  // no alternative of the type exists.
+  std::optional<Endpoint> PickWorker(const std::string& type, SimTime now,
+                                     const Endpoint* exclude = nullptr);
 
   // In-flight bookkeeping (kept even when hints are stale).
   void NoteTaskSent(const Endpoint& worker);
@@ -58,6 +70,13 @@ class ManagerStub {
   const std::vector<Endpoint>& cache_nodes() const { return cache_nodes_; }
   const Endpoint& profile_db() const { return profile_db_; }
 
+  // Cache partition owning `key` on the consistent-hash ring; nullopt when no
+  // cache node is known.
+  std::optional<Endpoint> CacheNodeForKey(const std::string& key) const;
+  // Cumulative count of cache-ring membership changes (joins + leaves), each of
+  // which remaps ~1/N of the key space. Exposed so the front end can export it.
+  uint64_t cache_membership_changes() const { return cache_membership_changes_; }
+
   size_t KnownWorkerCount(const std::string& type) const;
   std::vector<Endpoint> WorkersOfType(const std::string& type) const;
   // Predicted queue length of a worker right now (hint + delta extrapolation +
@@ -72,7 +91,18 @@ class ManagerStub {
     double hint_queue = 0;
     DeltaEstimator estimator;
     int inflight = 0;
+    SimTime last_seen = 0;  // Last beacon that listed this worker.
   };
+
+  static int64_t RingMemberId(const Endpoint& ep) {
+    return static_cast<int64_t>(
+        (static_cast<uint64_t>(static_cast<uint32_t>(ep.node)) << 32) |
+        static_cast<uint32_t>(ep.port));
+  }
+  static Endpoint RingMemberEndpoint(int64_t id) {
+    return Endpoint{static_cast<NodeId>(static_cast<uint64_t>(id) >> 32),
+                    static_cast<Port>(static_cast<uint64_t>(id) & 0xFFFFFFFFULL)};
+  }
 
   SnsConfig config_;
   Rng* rng_;
@@ -82,6 +112,8 @@ class ManagerStub {
   uint64_t beacons_seen_ = 0;
   std::unordered_map<Endpoint, WorkerView, EndpointHash> workers_;
   std::vector<Endpoint> cache_nodes_;
+  ConsistentHashRing cache_ring_;
+  uint64_t cache_membership_changes_ = 0;
   Endpoint profile_db_;
 };
 

@@ -16,6 +16,7 @@
 #include "src/net/message.h"
 #include "src/tacc/profile.h"
 #include "src/util/status.h"
+#include "src/util/time.h"
 
 namespace sns {
 
@@ -65,6 +66,11 @@ struct ClientRequestPayload : Payload {
   std::string user_id;
   // Extra service inputs (e.g., metasearch query string).
   std::map<std::string, std::string> params;
+  // Absolute time after which the client no longer wants the answer. The front end
+  // evicts expired requests from its accept queue and propagates the remaining
+  // budget on every downstream op, so no component works on a dead request.
+  // kTimeNever = the client will wait forever.
+  SimTime deadline = kTimeNever;
 };
 
 // How the response was produced — used to assert BASE "approximate answer"
@@ -139,6 +145,9 @@ struct TaskRequestPayload : Payload {
   UserProfile profile;
   std::map<std::string, std::string> args;
   Endpoint reply_to;
+  // Remaining budget of the owning client request; workers drop tasks whose
+  // deadline has already passed instead of burning CPU on a dead request.
+  SimTime deadline = kTimeNever;
 };
 
 struct TaskResponsePayload : Payload {
@@ -154,6 +163,9 @@ struct CacheGetPayload : Payload {
   uint64_t op_id = 0;
   std::string key;
   Endpoint reply_to;
+  // Expired gets are dropped by the cache node (the requester already counted the
+  // op as a miss); kTimeNever = no deadline.
+  SimTime deadline = kTimeNever;
 };
 
 struct CachePutPayload : Payload {
@@ -191,6 +203,7 @@ struct FetchRequestPayload : Payload {
   uint64_t op_id = 0;
   std::string url;
   Endpoint reply_to;
+  SimTime deadline = kTimeNever;
 };
 
 struct FetchResponsePayload : Payload {

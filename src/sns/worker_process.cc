@@ -16,6 +16,7 @@ void WorkerProcess::OnStart() {
   std::string prefix = StrFormat("worker.%s.p%lld.", type_.c_str(), static_cast<long long>(pid()));
   completed_ = metrics()->GetCounter(prefix + "completed_tasks");
   rejected_ = metrics()->GetCounter(prefix + "rejected_tasks");
+  expired_ = metrics()->GetCounter(prefix + "expired_tasks");
   queue_gauge_ = metrics()->GetGauge(prefix + "queue_length");
   JoinGroup(kGroupManagerBeacon);
   report_timer_ = std::make_unique<PeriodicTimer>(sim(), config_.load_report_period,
@@ -75,24 +76,53 @@ double WorkerProcess::WeightedQueueLength() const {
   return reference > 0 ? static_cast<double>(queued_cost_) / reference : QueueLength();
 }
 
+void WorkerProcess::ExpireTask(const TaskRequestPayload& task, const TraceContext& span,
+                               SimTime start) {
+  // The front end gave up on this task at its deadline; burning distiller CPU on
+  // it now would only starve tasks that can still meet theirs. Reply anyway so
+  // the (possibly retried) task id is settled instead of timing out again.
+  expired_->Increment();
+  RecordSpan(span, "worker.task", start, "expired");
+  auto reply = std::make_shared<TaskResponsePayload>();
+  reply->task_id = task.task_id;
+  reply->status = TimeoutError("task deadline expired at worker");
+  reply->worker_type = type_;
+  Message out;
+  out.dst = task.reply_to;
+  out.type = kMsgTaskResponse;
+  out.transport = Transport::kReliable;
+  out.size_bytes = WireSizeOf(*reply);
+  out.payload = reply;
+  out.trace = span;
+  Send(std::move(out));
+}
+
+void WorkerProcess::RejectTask(const TaskRequestPayload& task, const TraceContext& span,
+                               const std::string& reason) {
+  rejected_->Increment();
+  RecordSpan(span, "worker.task", sim()->now(), "rejected");
+  auto reply = std::make_shared<TaskResponsePayload>();
+  reply->task_id = task.task_id;
+  reply->status = ResourceExhaustedError(reason);
+  reply->worker_type = type_;
+  Message out;
+  out.dst = task.reply_to;
+  out.type = kMsgTaskResponse;
+  out.transport = Transport::kReliable;
+  out.size_bytes = WireSizeOf(*reply);
+  out.payload = reply;
+  out.trace = span;
+  Send(std::move(out));
+}
+
 void WorkerProcess::HandleTask(const Message& msg) {
   auto task = std::static_pointer_cast<const TaskRequestPayload>(msg.payload);
+  if (task->deadline != kTimeNever && sim()->now() >= task->deadline) {
+    ExpireTask(*task, ChildSpan(msg.trace), sim()->now());
+    return;
+  }
   if (queue_.size() >= kQueueCapacity) {
-    rejected_->Increment();
-    TraceContext span = ChildSpan(msg.trace);
-    RecordSpan(span, "worker.task", sim()->now(), "rejected");
-    auto reply = std::make_shared<TaskResponsePayload>();
-    reply->task_id = task->task_id;
-    reply->status = ResourceExhaustedError("worker queue full");
-    reply->worker_type = type_;
-    Message out;
-    out.dst = task->reply_to;
-    out.type = kMsgTaskResponse;
-    out.transport = Transport::kReliable;
-    out.size_bytes = WireSizeOf(*reply);
-    out.payload = reply;
-    out.trace = span;
-    Send(std::move(out));
+    RejectTask(*task, ChildSpan(msg.trace), "worker queue full");
     return;
   }
   TaccRequest probe;
@@ -100,6 +130,16 @@ void WorkerProcess::HandleTask(const Message& msg) {
   probe.inputs = task->inputs;
   probe.args = task->args;
   SimDuration cost = worker_->EstimateCost(probe);
+  // Deadline-aware admission: if the queued backlog plus this task's own cost
+  // cannot fit inside the remaining budget, refuse now rather than let the task
+  // queue up and expire at its deadline. The front end falls back to an
+  // approximate answer while there is still time to deliver it (§3.1.8).
+  if (task->deadline != kTimeNever &&
+      sim()->now() + queued_cost_ + cost + config_.task_admission_headroom >
+          task->deadline) {
+    RejectTask(*task, ChildSpan(msg.trace), "queued backlog exceeds deadline budget");
+    return;
+  }
   queued_cost_ += cost;
   QueuedTask queued{std::move(task), cost, ChildSpan(msg.trace), sim()->now()};
   queue_.push_back(std::move(queued));
@@ -109,6 +149,14 @@ void WorkerProcess::HandleTask(const Message& msg) {
 }
 
 void WorkerProcess::StartNext() {
+  // Tasks whose deadline passed while queued are shed before claiming the CPU.
+  while (!queue_.empty() && queue_.front().payload->deadline != kTimeNever &&
+         sim()->now() >= queue_.front().payload->deadline) {
+    QueuedTask expired = std::move(queue_.front());
+    queue_.pop_front();
+    queued_cost_ -= expired.estimated_cost;
+    ExpireTask(*expired.payload, expired.trace, expired.enqueued_at);
+  }
   if (queue_.empty()) {
     busy_ = false;
     return;

@@ -45,6 +45,7 @@ class WorkerProcess : public Process {
   double WeightedQueueLength() const;
   int64_t completed_tasks() const { return completed_ != nullptr ? completed_->value() : 0; }
   int64_t rejected_tasks() const { return rejected_ != nullptr ? rejected_->value() : 0; }
+  int64_t expired_tasks() const { return expired_ != nullptr ? expired_->value() : 0; }
 
   // Max queued tasks before the stub sheds load with RESOURCE_EXHAUSTED.
   static constexpr size_t kQueueCapacity = 2000;
@@ -52,6 +53,9 @@ class WorkerProcess : public Process {
  private:
   void HandleBeacon(const ManagerBeaconPayload& beacon);
   void HandleTask(const Message& msg);
+  void ExpireTask(const TaskRequestPayload& task, const TraceContext& span, SimTime start);
+  void RejectTask(const TaskRequestPayload& task, const TraceContext& span,
+                  const std::string& reason);
   void StartNext();
   void ReportLoad();
   void RegisterWithManager();
@@ -75,6 +79,7 @@ class WorkerProcess : public Process {
   // pid so each incarnation gets fresh counts (worker instances are disposable).
   Counter* completed_ = nullptr;
   Counter* rejected_ = nullptr;
+  Counter* expired_ = nullptr;
   Gauge* queue_gauge_ = nullptr;
   std::unique_ptr<PeriodicTimer> report_timer_;
 };

@@ -95,9 +95,13 @@ uint64_t PlaybackEngine::SendRequest(const TraceRecord& record,
   for (auto& [key, value] : params) {
     payload->params[key] = std::move(value);
   }
+  if (config_.request_deadline > 0) {
+    payload->deadline = sim()->now() + config_.request_deadline;
+  }
 
   PendingRequest pending;
   pending.sent_at = sim()->now();
+  pending.deadline = payload->deadline;
   pending.trace = StartTrace();  // Root span: the whole client-observed request.
   pending.timeout = After(config_.request_timeout, [this, id] {
     auto it = pending_.find(id);
@@ -143,12 +147,16 @@ void PlaybackEngine::OnMessage(const Message& msg) {
     return;  // Already timed out.
   }
   double latency = ToSeconds(sim()->now() - it->second.sent_at);
+  SimTime deadline = it->second.deadline;
   RecordSpan(it->second.trace, "client.request", it->second.sent_at,
              reply.status.ok() ? "ok" : "error");
   CancelTimer(it->second.timeout);
   pending_.erase(it);
 
   ++completed_;
+  if (reply.status.ok() && deadline != kTimeNever && sim()->now() > deadline) {
+    ++late_completions_;
+  }
   latency_s_.Add(latency);
   latency_hist_.Add(latency);
   ++by_source_[ResponseSourceName(reply.source)];
@@ -180,6 +188,7 @@ void PlaybackEngine::ResetStats() {
   errors_ = 0;
   timeouts_ = 0;
   send_failures_ = 0;
+  late_completions_ = 0;
   bytes_received_ = 0;
   latency_s_ = RunningStats();
   latency_hist_ = Histogram(0.0, 30.0, 3000);

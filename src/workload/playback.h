@@ -27,6 +27,10 @@ namespace sns {
 struct PlaybackConfig {
   uint64_t seed = 0xCAFE;
   SimDuration request_timeout = Seconds(30);
+  // When > 0, each request carries an absolute deadline of now + request_deadline;
+  // the service sheds the request wherever it is when the deadline passes. 0 keeps
+  // the legacy best-effort behavior (no deadline on the wire).
+  SimDuration request_deadline = 0;
   // Client-side load balancing: returns the currently live front ends. Re-queried
   // for every request, masking transient FE failures (§3.1.2).
   std::function<std::vector<Endpoint>()> front_ends;
@@ -60,6 +64,9 @@ class PlaybackEngine : public Process {
   int64_t errors() const { return errors_; }        // Error statuses from the service.
   int64_t timeouts() const { return timeouts_; }    // No response at all.
   int64_t send_failures() const { return send_failures_; }
+  // OK responses that arrived after the request's deadline — should stay zero when
+  // the service enforces deadlines end to end.
+  int64_t late_completions() const { return late_completions_; }
   int64_t bytes_received() const { return bytes_received_; }
   int64_t outstanding() const { return static_cast<int64_t>(pending_.size()); }
   const RunningStats& latency_stats() const { return latency_s_; }
@@ -74,6 +81,7 @@ class PlaybackEngine : public Process {
  private:
   struct PendingRequest {
     SimTime sent_at = 0;
+    SimTime deadline = kTimeNever;
     EventId timeout = kInvalidEventId;
     TraceContext trace;  // Root span of the request's end-to-end trace.
   };
@@ -105,6 +113,7 @@ class PlaybackEngine : public Process {
   int64_t errors_ = 0;
   int64_t timeouts_ = 0;
   int64_t send_failures_ = 0;
+  int64_t late_completions_ = 0;
   int64_t bytes_received_ = 0;
   RunningStats latency_s_;
   Histogram latency_hist_{0.0, 30.0, 3000};

@@ -104,12 +104,54 @@ TEST_F(ManagerStubTest, DeltaEstimationCanBeDisabled) {
   EXPECT_NEAR(raw.PredictedQueue(w1_, Seconds(3)), 6.0, 1e-9);  // Raw stale hint.
 }
 
-TEST_F(ManagerStubTest, WorkerMissingFromBeaconIsDropped) {
+TEST_F(ManagerStubTest, WorkerMissingFromOneBeaconSurvivesGraceWindow) {
   stub_.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "d", 0.0}, {w2_, "d", 0.0}}), Seconds(1));
   EXPECT_EQ(stub_.KnownWorkerCount("d"), 2u);
+  // One lost beacon datagram must not evict w1: it stays through the grace window.
   stub_.OnBeacon(MakeBeacon(manager_, 2, {{w2_, "d", 0.0}}), Seconds(2));
+  EXPECT_EQ(stub_.KnownWorkerCount("d"), 2u);
+  EXPECT_EQ(stub_.WorkersOfType("d"), (std::vector<Endpoint>{w1_, w2_}));
+  // Sustained absence past the grace window does evict.
+  SnsConfig config;
+  SimTime late = Seconds(1) + config.beacon_absence_grace + Seconds(1);
+  stub_.OnBeacon(MakeBeacon(manager_, 3, {{w2_, "d", 0.0}}), late);
   EXPECT_EQ(stub_.KnownWorkerCount("d"), 1u);
   EXPECT_EQ(stub_.WorkersOfType("d"), (std::vector<Endpoint>{w2_}));
+}
+
+TEST_F(ManagerStubTest, BeaconGapPreservesInflightAccounting) {
+  stub_.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "d", 0.0}, {w2_, "d", 0.0}}), Seconds(1));
+  stub_.NoteTaskSent(w1_);
+  stub_.NoteTaskSent(w1_);
+  stub_.NoteTaskSent(w1_);
+  EXPECT_NEAR(stub_.PredictedQueue(w1_, Seconds(1)), 3.0, 1e-9);
+  // w1 absent from the next beacon: its inflight count must not reset to zero,
+  // which would skew the lottery toward the worker we already loaded up.
+  stub_.OnBeacon(MakeBeacon(manager_, 2, {{w2_, "d", 0.0}}), Seconds(2));
+  EXPECT_GE(stub_.PredictedQueue(w1_, Seconds(2)), 3.0);
+  // When it reappears, the view (estimator + inflight) carries over seamlessly.
+  stub_.OnBeacon(MakeBeacon(manager_, 3, {{w1_, "d", 0.0}, {w2_, "d", 0.0}}), Seconds(3));
+  EXPECT_GE(stub_.PredictedQueue(w1_, Seconds(3)), 3.0);
+  stub_.NoteTaskDone(w1_);
+  stub_.NoteTaskDone(w1_);
+  stub_.NoteTaskDone(w1_);
+  EXPECT_NEAR(stub_.PredictedQueue(w1_, Seconds(3)), 0.0, 1e-9);
+}
+
+TEST_F(ManagerStubTest, PickWorkerExcludesGivenWorkerWhenAlternativesExist) {
+  stub_.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "d", 0.0}, {w2_, "d", 0.0}}), Seconds(1));
+  for (int i = 0; i < 100; ++i) {
+    auto picked = stub_.PickWorker("d", Seconds(1), &w1_);
+    ASSERT_TRUE(picked.has_value());
+    EXPECT_EQ(*picked, w2_);
+  }
+}
+
+TEST_F(ManagerStubTest, PickWorkerFallsBackToExcludedWhenItIsTheOnlyOne) {
+  stub_.OnBeacon(MakeBeacon(manager_, 1, {{w1_, "d", 0.0}}), Seconds(1));
+  auto picked = stub_.PickWorker("d", Seconds(1), &w1_);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(*picked, w1_);
 }
 
 TEST_F(ManagerStubTest, NoteWorkerDeadRemovesLocally) {
@@ -147,6 +189,76 @@ TEST_F(ManagerStubTest, CacheNodesAndProfileDbComeFromBeacon) {
   // Sorted for deterministic key hashing.
   EXPECT_EQ(stub_.cache_nodes()[0].node, 4);
   EXPECT_EQ(stub_.profile_db(), (Endpoint{6, 60}));
+}
+
+TEST_F(ManagerStubTest, CacheRingRemapsBoundedFractionOnLeave) {
+  ManagerBeaconPayload beacon = MakeBeacon(manager_, 1, {});
+  const int kNodes = 5;
+  for (int i = 0; i < kNodes; ++i) {
+    beacon.cache_nodes.push_back(Endpoint{10 + i, 100});
+  }
+  stub_.OnBeacon(beacon, Seconds(1));
+
+  const int kKeys = 2000;
+  std::vector<Endpoint> owner_before(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    auto owner = stub_.CacheNodeForKey("http://example.com/img" + std::to_string(k));
+    ASSERT_TRUE(owner.has_value());
+    owner_before[static_cast<size_t>(k)] = *owner;
+  }
+
+  // Remove one node; with consistent hashing only ~1/N of keys may change owner
+  // (vs ~(N-1)/N under mod-N partitioning), and every remapped key must have
+  // belonged to the departed node.
+  Endpoint departed = beacon.cache_nodes.back();
+  beacon.cache_nodes.pop_back();
+  beacon.beacon_seq = 2;
+  stub_.OnBeacon(beacon, Seconds(2));
+
+  int remapped = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    auto owner = stub_.CacheNodeForKey("http://example.com/img" + std::to_string(k));
+    ASSERT_TRUE(owner.has_value());
+    if (*owner != owner_before[static_cast<size_t>(k)]) {
+      ++remapped;
+      EXPECT_EQ(owner_before[static_cast<size_t>(k)], departed);
+    }
+  }
+  EXPECT_GT(remapped, 0);
+  EXPECT_LE(remapped, 2 * kKeys / kNodes);
+  EXPECT_EQ(stub_.cache_membership_changes(), static_cast<uint64_t>(kNodes + 1));
+}
+
+TEST_F(ManagerStubTest, CacheRingRemapsBoundedFractionOnJoin) {
+  ManagerBeaconPayload beacon = MakeBeacon(manager_, 1, {});
+  const int kNodes = 4;
+  for (int i = 0; i < kNodes; ++i) {
+    beacon.cache_nodes.push_back(Endpoint{10 + i, 100});
+  }
+  stub_.OnBeacon(beacon, Seconds(1));
+
+  const int kKeys = 2000;
+  std::vector<Endpoint> owner_before(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    owner_before[static_cast<size_t>(k)] =
+        *stub_.CacheNodeForKey("http://example.com/img" + std::to_string(k));
+  }
+
+  Endpoint joined{10 + kNodes, 100};
+  beacon.cache_nodes.push_back(joined);
+  beacon.beacon_seq = 2;
+  stub_.OnBeacon(beacon, Seconds(2));
+
+  int remapped = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    auto owner = *stub_.CacheNodeForKey("http://example.com/img" + std::to_string(k));
+    if (owner != owner_before[static_cast<size_t>(k)]) {
+      ++remapped;
+      EXPECT_EQ(owner, joined);  // Joiners only take keys, never shuffle others.
+    }
+  }
+  EXPECT_GT(remapped, 0);
+  EXPECT_LE(remapped, 2 * kKeys / (kNodes + 1));
 }
 
 TEST_F(ManagerStubTest, RoundRobinPolicyRotates) {
