@@ -1,0 +1,250 @@
+#include "src/chaos/campaign.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "src/cluster/failure_injector.h"
+#include "src/services/transend/transend.h"
+#include "src/util/strings.h"
+
+namespace sns {
+namespace {
+
+TranSendOptions ChaosOptions(const CampaignConfig& config) {
+  TranSendOptions options = DefaultTranSendOptions();
+  // All-JPEG universe: every request re-distills, keeping the worker pool
+  // load-bearing throughout the fault storm (same idiom as the fault tests).
+  options.universe.url_count = config.url_count;
+  options.universe.sizes.gif_fraction = 0.0;
+  options.universe.sizes.html_fraction = 0.0;
+  options.universe.sizes.jpeg_fraction = 1.0;
+  options.universe.sizes.jpeg_mu = 9.2335;
+  options.universe.sizes.jpeg_sigma = 0.05;
+  options.universe.sizes.error_page_fraction = 0.0;
+  options.logic.cache_distilled = false;
+  options.topology.worker_pool_nodes = config.worker_pool_nodes;
+  options.topology.front_ends = config.front_ends;
+  options.topology.cache_nodes = config.cache_nodes;
+  options.sns.manager_epoch_fencing = config.epoch_fencing;
+  return options;
+}
+
+// Resolves a symbolic fault event against the live topology and applies it (via
+// the injector, so it lands in the injector's event log).
+void ApplyFault(const FaultEvent& ev, SnsSystem* system, FailureInjector* injector) {
+  Simulator* sim = system->sim();
+  SimTime now = sim->now();
+  auto pick = [&ev](size_t size) {
+    return static_cast<size_t>(ev.index) % size;
+  };
+  switch (ev.kind) {
+    case FaultKind::kCrashManager: {
+      ProcessId pid = system->manager_pid();
+      if (pid != kInvalidProcess && system->cluster()->Find(pid) != nullptr) {
+        injector->CrashProcessAt(now, pid);
+      }
+      break;
+    }
+    case FaultKind::kCrashWorker: {
+      auto workers = system->live_workers();
+      if (!workers.empty()) {
+        injector->CrashProcessAt(now, workers[pick(workers.size())]->pid());
+      }
+      break;
+    }
+    case FaultKind::kCrashFrontEnd: {
+      auto fes = system->front_ends();
+      if (!fes.empty()) {
+        injector->CrashProcessAt(now, fes[pick(fes.size())]->pid());
+      }
+      break;
+    }
+    case FaultKind::kCrashCacheNode: {
+      auto caches = system->cache_node_processes();
+      if (!caches.empty()) {
+        injector->CrashProcessAt(now, caches[pick(caches.size())]->pid());
+      }
+      break;
+    }
+    case FaultKind::kKillWorkerNode: {
+      const auto& pool = system->worker_pool();
+      if (!pool.empty()) {
+        NodeId victim = pool[pick(pool.size())];
+        if (system->cluster()->NodeUp(victim)) {
+          injector->CrashNodeAt(now, victim);
+          injector->RestartNodeAt(now + ev.duration, victim);
+        }
+      }
+      break;
+    }
+    case FaultKind::kPartitionManager: {
+      ManagerProcess* manager = system->manager();
+      if (manager != nullptr &&
+          system->san()->PartitionGroupOf(manager->node()) == 0) {
+        injector->PartitionAt(now, {manager->node()}, now + ev.duration);
+      }
+      break;
+    }
+    case FaultKind::kPartitionWorkers: {
+      std::vector<NodeId> victims;
+      const auto& pool = system->worker_pool();
+      for (size_t i = 0; i < pool.size() && victims.size() < static_cast<size_t>(ev.count);
+           ++i) {
+        NodeId node = pool[(static_cast<size_t>(ev.index) + i) % pool.size()];
+        if (system->cluster()->NodeUp(node) && system->san()->PartitionGroupOf(node) == 0 &&
+            std::find(victims.begin(), victims.end(), node) == victims.end()) {
+          victims.push_back(node);
+        }
+      }
+      if (!victims.empty()) {
+        injector->PartitionAt(now, victims, now + ev.duration);
+      }
+      break;
+    }
+    case FaultKind::kPartitionFrontEnd: {
+      auto fes = system->front_ends();
+      if (!fes.empty()) {
+        NodeId victim = fes[pick(fes.size())]->node();
+        if (system->san()->PartitionGroupOf(victim) == 0) {
+          injector->PartitionAt(now, {victim}, now + ev.duration);
+        }
+      }
+      break;
+    }
+    case FaultKind::kBeaconLoss:
+      injector->BeaconLossAt(now, kGroupManagerBeacon, ev.duration);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ChaosRunResult::Describe() const {
+  std::string out = schedule.ToScript();
+  out += StrFormat(
+      "  result: %s, max_managers=%d, final_epoch=%llu, demotions=%lld, faults=%lld\n",
+      passed() ? "PASS" : "FAIL", max_concurrent_managers,
+      static_cast<unsigned long long>(final_manager_epoch),
+      static_cast<long long>(manager_demotions), static_cast<long long>(faults_injected));
+  out += StrFormat(
+      "  clients: sent=%lld completed=%lld timeouts=%lld send_failures=%lld late=%lld\n",
+      static_cast<long long>(sent), static_cast<long long>(completed),
+      static_cast<long long>(timeouts), static_cast<long long>(send_failures),
+      static_cast<long long>(late_completions));
+  if (!passed()) {
+    out += report.ToString();
+  }
+  return out;
+}
+
+ChaosRunResult RunSchedule(const FaultSchedule& schedule, const CampaignConfig& config) {
+  ChaosRunResult result;
+  result.schedule = schedule;
+
+  TranSendService service(ChaosOptions(config));
+  service.Start();
+  PlaybackConfig playback;
+  playback.seed = schedule.seed ^ 0xC11E47ULL;
+  playback.request_timeout = config.request_timeout;
+  playback.request_deadline = config.request_deadline;
+  PlaybackEngine* client = service.AddPlaybackEngine(playback);
+
+  Simulator* sim = service.sim();
+  SnsSystem* system = service.system();
+  ContentUniverse* universe = service.universe();
+  Rng load_rng(schedule.seed ^ 0x10ADULL);
+  client->StartConstantRate(config.request_rate, [&load_rng, universe] {
+    TraceRecord record;
+    record.user_id = "chaos";
+    record.url = universe->UrlAt(load_rng.UniformInt(0, universe->url_count() - 1));
+    return record;
+  });
+  // Warm up: the manager spawns the initial workers under load. Stats are NOT
+  // reset — requests in flight at a reset would complete without a matching
+  // send, breaking the answered-or-expired conservation check; accounting from
+  // t=0 keeps sent == completed + timeouts + send_failures exact.
+  sim->RunFor(config.warmup);
+
+  FailureInjector injector(system->cluster(), system->san());
+  SimTime fault_start = sim->now();
+  for (const FaultEvent& ev : schedule.events) {
+    sim->ScheduleAt(fault_start + ev.at,
+                    [&ev, system, &injector] { ApplyFault(ev, system, &injector); });
+  }
+
+  // Half-second census of live manager incarnations; trace records transitions.
+  SimTime sample_end = fault_start + config.gen.horizon + config.gen.max_outage +
+                       config.request_timeout + config.quiesce_settle;
+  int last_census = -1;
+  std::function<void()> sample = [&] {
+    int census = static_cast<int>(LiveManagers(system).size());
+    result.max_concurrent_managers = std::max(result.max_concurrent_managers, census);
+    if (census != last_census) {
+      result.trace += StrFormat("t=%s managers=%d epoch=%llu\n",
+                                FormatTime(sim->now()).c_str(), census,
+                                static_cast<unsigned long long>(system->manager_epoch()));
+      last_census = census;
+    }
+    if (sim->now() < sample_end) {
+      sim->Schedule(Milliseconds(500), sample);
+    }
+  };
+  sim->Schedule(0, sample);
+
+  // Fault window, plus slack for the longest outage to heal.
+  sim->RunFor(config.gen.horizon + config.gen.max_outage);
+  client->StopLoad();
+  // Drain: every outstanding request completes or times out.
+  sim->RunFor(config.request_timeout + Seconds(2));
+  // Settle: beacons, TTL expiries, and re-registrations converge the soft state.
+  sim->RunFor(config.quiesce_settle);
+
+  result.report = CheckInvariantsAtQuiesce(system, {client});
+  result.final_manager_epoch = system->manager_epoch();
+  result.manager_demotions = system->metrics()->GetCounter("manager.demotions")->value();
+  result.faults_injected = injector.injected_count();
+  result.sent = client->sent();
+  result.completed = client->completed();
+  result.timeouts = client->timeouts();
+  result.send_failures = client->send_failures();
+  result.late_completions = client->late_completions();
+  for (const std::string& line : injector.event_log()) {
+    result.trace += line + "\n";
+  }
+  result.trace += StrFormat("final managers=%zu epoch=%llu demotions=%lld\n",
+                            LiveManagers(system).size(),
+                            static_cast<unsigned long long>(result.final_manager_epoch),
+                            static_cast<long long>(result.manager_demotions));
+  return result;
+}
+
+std::string CampaignResult::Summary() const {
+  std::string out =
+      StrFormat("chaos campaign: %zu run(s), %d failed\n", runs.size(), failed);
+  for (const ChaosRunResult& run : runs) {
+    out += StrFormat("  seed=0x%llX %s events=%zu max_managers=%d epoch=%llu\n",
+                     static_cast<unsigned long long>(run.schedule.seed),
+                     run.passed() ? "PASS" : "FAIL", run.schedule.events.size(),
+                     run.max_concurrent_managers,
+                     static_cast<unsigned long long>(run.final_manager_epoch));
+  }
+  return out;
+}
+
+CampaignResult RunCampaign(uint64_t base_seed, int schedule_count,
+                           const CampaignConfig& config) {
+  CampaignResult result;
+  for (int i = 0; i < schedule_count; ++i) {
+    FaultSchedule schedule = GenerateSchedule(base_seed + static_cast<uint64_t>(i),
+                                              config.gen);
+    ChaosRunResult run = RunSchedule(schedule, config);
+    if (!run.passed()) {
+      ++result.failed;
+    }
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+}  // namespace sns

@@ -1,0 +1,147 @@
+#include "src/chaos/invariants.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/strings.h"
+
+namespace sns {
+namespace {
+
+// Every live process of type T anywhere in the cluster, discovered by walking the
+// process table rather than the system's bookkeeping (which only tracks the
+// incarnations it launched most recently).
+template <typename T>
+std::vector<T*> LiveProcessesOfType(SnsSystem* system) {
+  std::vector<T*> out;
+  Cluster* cluster = system->cluster();
+  for (NodeId node : cluster->AllNodes()) {
+    for (ProcessId pid : cluster->ProcessesOnNode(node)) {
+      auto* p = dynamic_cast<T*>(cluster->Find(pid));
+      if (p != nullptr) {
+        out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+std::set<std::pair<NodeId, Port>> EndpointSet(const std::vector<Endpoint>& endpoints) {
+  std::set<std::pair<NodeId, Port>> out;
+  for (const Endpoint& ep : endpoints) {
+    out.insert({ep.node, ep.port});
+  }
+  return out;
+}
+
+std::string DescribeEndpointSet(const std::set<std::pair<NodeId, Port>>& set) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [node, port] : set) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("n%d:%d", node, port);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string InvariantReport::ToString() const {
+  if (ok()) {
+    return "all invariants hold\n";
+  }
+  std::string out = StrFormat("%zu invariant violation(s):\n", violations.size());
+  for (const InvariantViolation& v : violations) {
+    out += StrFormat("  [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
+  }
+  return out;
+}
+
+std::vector<ManagerProcess*> LiveManagers(SnsSystem* system) {
+  return LiveProcessesOfType<ManagerProcess>(system);
+}
+
+std::vector<FrontEndProcess*> LiveFrontEndProcesses(SnsSystem* system) {
+  return LiveProcessesOfType<FrontEndProcess>(system);
+}
+
+std::vector<CacheNodeProcess*> LiveCacheNodeProcesses(SnsSystem* system) {
+  return LiveProcessesOfType<CacheNodeProcess>(system);
+}
+
+InvariantReport CheckInvariantsAtQuiesce(SnsSystem* system,
+                                         const std::vector<PlaybackEngine*>& clients) {
+  InvariantReport report;
+  auto violate = [&report](const char* invariant, std::string detail) {
+    report.violations.push_back({invariant, std::move(detail)});
+  };
+
+  // 1. Eventually exactly one live manager.
+  std::vector<ManagerProcess*> managers = LiveManagers(system);
+  if (managers.size() != 1) {
+    std::string detail = StrFormat("%zu live manager incarnation(s):", managers.size());
+    for (ManagerProcess* m : managers) {
+      detail += StrFormat(" epoch=%llu@n%d", static_cast<unsigned long long>(m->epoch()),
+                          m->node());
+    }
+    violate("exactly-one-manager", detail);
+    return report;  // The roster/ring checks are meaningless with 0 or 2 managers.
+  }
+  ManagerProcess* manager = managers[0];
+
+  // 2. Every client request answered or expired; none late, none leaked.
+  for (size_t i = 0; i < clients.size(); ++i) {
+    PlaybackEngine* client = clients[i];
+    int64_t accounted =
+        client->completed() + client->timeouts() + client->send_failures();
+    if (client->sent() != accounted || client->outstanding() != 0) {
+      violate("answered-or-expired",
+              StrFormat("client %zu: sent=%lld != completed=%lld + timeouts=%lld + "
+                        "send_failures=%lld (outstanding=%lld)",
+                        i, static_cast<long long>(client->sent()),
+                        static_cast<long long>(client->completed()),
+                        static_cast<long long>(client->timeouts()),
+                        static_cast<long long>(client->send_failures()),
+                        static_cast<long long>(client->outstanding())));
+    }
+    // Late completions (an OK response landing between deadline and timeout) are
+    // NOT a violation: the end-to-end deadline is best-effort — a response
+    // already in flight when the deadline passes is still delivered. They are
+    // surfaced in the run trace, and conservation above still accounts them.
+  }
+
+  // 3. Soft-state roster converged to the live roster.
+  size_t live_workers = system->live_workers().size();
+  if (manager->KnownWorkerCount() != live_workers) {
+    violate("roster-convergence",
+            StrFormat("manager knows %zu worker(s), %zu live",
+                      manager->KnownWorkerCount(), live_workers));
+  }
+  size_t live_fes = LiveFrontEndProcesses(system).size();
+  if (manager->KnownFrontEndCount() != live_fes) {
+    violate("roster-convergence",
+            StrFormat("manager knows %zu front end(s), %zu live",
+                      manager->KnownFrontEndCount(), live_fes));
+  }
+
+  // 4. Every front end's cache ring matches the live cache nodes.
+  std::vector<Endpoint> cache_eps;
+  for (CacheNodeProcess* cache : LiveCacheNodeProcesses(system)) {
+    cache_eps.push_back(cache->endpoint());
+  }
+  auto live_cache_set = EndpointSet(cache_eps);
+  for (FrontEndProcess* fe : LiveFrontEndProcesses(system)) {
+    auto ring_set = EndpointSet(fe->stub().cache_nodes());
+    if (ring_set != live_cache_set) {
+      violate("cache-ring-convergence",
+              StrFormat("fe %d ring %s != live caches %s", fe->fe_index(),
+                        DescribeEndpointSet(ring_set).c_str(),
+                        DescribeEndpointSet(live_cache_set).c_str()));
+    }
+  }
+
+  return report;
+}
+
+}  // namespace sns

@@ -1,0 +1,55 @@
+// Cluster-wide invariants, checked at quiesce points of a chaos run.
+//
+// A quiesce point is a moment when every injected fault has been applied and
+// healed, client load has stopped and drained, and several beacon/TTL periods have
+// elapsed. At such a point the paper's architecture promises:
+//
+//   1. Exactly one live manager incarnation ("eventually exactly one"): epoch
+//      fencing demotes every superseded incarnation within a beacon period of the
+//      partition healing (§3.1.3 extended with incarnation numbers).
+//   2. Every client request was answered or expired: sent = completed + timeouts +
+//      send_failures with nothing outstanding, and no completion arrived after its
+//      deadline (the BASE accounting of §4.5 — requests are never silently lost).
+//   3. The soft-state roster converged to the live roster: the surviving manager's
+//      worker and front-end tables match the processes actually alive (soft state
+//      rebuilt from beacons and load reports, §3.1.8).
+//   4. Every front end's cache-ring membership equals the live cache nodes, so a
+//      node join/leave remapped only its ring arcs and the ring healed (§3.1.5).
+
+#ifndef SRC_CHAOS_INVARIANTS_H_
+#define SRC_CHAOS_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sns/system.h"
+#include "src/workload/playback.h"
+
+namespace sns {
+
+struct InvariantViolation {
+  std::string invariant;  // Short name, e.g. "exactly-one-manager".
+  std::string detail;
+};
+
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+// Cluster-wide process census (includes incarnations the system no longer tracks,
+// e.g. a stale manager stranded by a partition — exactly what the invariants are
+// about).
+std::vector<ManagerProcess*> LiveManagers(SnsSystem* system);
+std::vector<FrontEndProcess*> LiveFrontEndProcesses(SnsSystem* system);
+std::vector<CacheNodeProcess*> LiveCacheNodeProcesses(SnsSystem* system);
+
+// Runs all quiesce-point invariants. `clients` are the playback engines whose
+// accounting is checked.
+InvariantReport CheckInvariantsAtQuiesce(SnsSystem* system,
+                                         const std::vector<PlaybackEngine*>& clients);
+
+}  // namespace sns
+
+#endif  // SRC_CHAOS_INVARIANTS_H_

@@ -1,0 +1,48 @@
+#include "src/chaos/minimizer.h"
+
+#include "src/util/strings.h"
+
+namespace sns {
+
+std::string MinimizeResult::Repro() const {
+  std::string out = StrFormat("minimal repro (%zu event(s), %d run(s) used):\n",
+                              minimal.events.size(), runs_used);
+  out += minimal.ToScript();
+  out += failure.ToString();
+  return out;
+}
+
+MinimizeResult MinimizeSchedule(const FaultSchedule& failing, const CampaignConfig& config,
+                                int max_runs) {
+  MinimizeResult result;
+  result.minimal = failing;
+
+  ChaosRunResult baseline = RunSchedule(result.minimal, config);
+  ++result.runs_used;
+  if (baseline.passed()) {
+    return result;  // Nothing to minimize: still_fails stays false.
+  }
+  result.still_fails = true;
+  result.failure = baseline.report;
+
+  bool progress = true;
+  while (progress && result.runs_used < max_runs) {
+    progress = false;
+    for (size_t i = 0; i < result.minimal.events.size() && result.runs_used < max_runs;
+         ++i) {
+      FaultSchedule candidate = result.minimal;
+      candidate.events.erase(candidate.events.begin() + static_cast<long>(i));
+      ChaosRunResult run = RunSchedule(candidate, config);
+      ++result.runs_used;
+      if (!run.passed()) {
+        result.minimal = std::move(candidate);
+        result.failure = run.report;
+        progress = true;
+        break;  // Restart the sweep over the shorter schedule.
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sns

@@ -1,0 +1,37 @@
+// Schedule minimization: shrink a failing fault schedule to a minimal repro.
+//
+// Greedy delta-debugging over the event list: repeatedly try dropping one event
+// and keep the reduction whenever the shrunk schedule still violates an
+// invariant, until no single-event removal preserves the failure (1-minimal) or
+// the run budget is exhausted. Every candidate is a full deterministic chaos run,
+// so the result is a schedule that provably still fails — printed as a replayable
+// seed + script.
+
+#ifndef SRC_CHAOS_MINIMIZER_H_
+#define SRC_CHAOS_MINIMIZER_H_
+
+#include <string>
+
+#include "src/chaos/campaign.h"
+
+namespace sns {
+
+struct MinimizeResult {
+  // The smallest schedule found that still fails (== the input when the input
+  // passes or nothing could be removed).
+  FaultSchedule minimal;
+  // The violation the minimal schedule produces.
+  InvariantReport failure;
+  int runs_used = 0;
+  bool still_fails = false;
+
+  // The copy-pasteable repro block: seed, script, and the violation.
+  std::string Repro() const;
+};
+
+MinimizeResult MinimizeSchedule(const FaultSchedule& failing, const CampaignConfig& config,
+                                int max_runs = 64);
+
+}  // namespace sns
+
+#endif  // SRC_CHAOS_MINIMIZER_H_

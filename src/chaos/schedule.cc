@@ -1,0 +1,78 @@
+#include "src/chaos/schedule.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace sns {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashManager:
+      return "crash_manager";
+    case FaultKind::kCrashWorker:
+      return "crash_worker";
+    case FaultKind::kCrashFrontEnd:
+      return "crash_front_end";
+    case FaultKind::kCrashCacheNode:
+      return "crash_cache_node";
+    case FaultKind::kKillWorkerNode:
+      return "kill_worker_node";
+    case FaultKind::kPartitionManager:
+      return "partition_manager";
+    case FaultKind::kPartitionWorkers:
+      return "partition_workers";
+    case FaultKind::kPartitionFrontEnd:
+      return "partition_front_end";
+    case FaultKind::kBeaconLoss:
+      return "beacon_loss";
+  }
+  return "unknown";
+}
+
+std::string FaultSchedule::ToScript() const {
+  std::string out = StrFormat("schedule seed=0x%llX (%zu events)\n",
+                              static_cast<unsigned long long>(seed), events.size());
+  for (const FaultEvent& ev : events) {
+    out += StrFormat("  +%s %s index=%d", FormatTime(ev.at).c_str(),
+                     FaultKindName(ev.kind), ev.index);
+    if (ev.kind == FaultKind::kPartitionWorkers) {
+      out += StrFormat(" count=%d", ev.count);
+    }
+    if (ev.duration > 0) {
+      out += StrFormat(" duration=%s", FormatTime(ev.duration).c_str());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+FaultSchedule GenerateSchedule(uint64_t seed, const ScheduleGenConfig& config) {
+  Rng rng(seed);
+  FaultSchedule schedule;
+  schedule.seed = seed;
+  int n = static_cast<int>(rng.UniformInt(config.min_events, config.max_events));
+  std::vector<double> weights = config.kind_weights;
+  weights.resize(kFaultKindCount, 0.0);
+  for (int i = 0; i < n; ++i) {
+    FaultEvent ev;
+    ev.at = static_cast<SimDuration>(
+        rng.Uniform(0.0, static_cast<double>(config.horizon)));
+    ev.kind = static_cast<FaultKind>(rng.WeightedIndex(weights));
+    ev.index = static_cast<int>(rng.UniformInt(0, 7));
+    ev.count = static_cast<int>(rng.UniformInt(1, config.max_partition_nodes));
+    ev.duration = static_cast<SimDuration>(rng.Uniform(
+        static_cast<double>(config.min_outage), static_cast<double>(config.max_outage)));
+    schedule.events.push_back(ev);
+  }
+  std::sort(schedule.events.begin(), schedule.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::make_tuple(a.at, static_cast<int>(a.kind), a.index) <
+                     std::make_tuple(b.at, static_cast<int>(b.kind), b.index);
+            });
+  return schedule;
+}
+
+}  // namespace sns

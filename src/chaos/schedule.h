@@ -1,0 +1,68 @@
+// Seeded fault-schedule generation for the chaos-campaign harness.
+//
+// A FaultSchedule is a deterministic function of its seed: the same seed always
+// yields the same events, and replaying a schedule against the same system build
+// yields the same simulated event trace. Victims are chosen *symbolically* (an
+// index into the live candidates of a kind), so a schedule stays meaningful as the
+// cluster changes shape mid-run; the campaign runner resolves indices to concrete
+// pids/nodes at fire time.
+
+#ifndef SRC_CHAOS_SCHEDULE_H_
+#define SRC_CHAOS_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace sns {
+
+enum class FaultKind {
+  kCrashManager = 0,   // Crash the current manager process.
+  kCrashWorker,        // Crash one live worker.
+  kCrashFrontEnd,      // Crash one live front end.
+  kCrashCacheNode,     // Crash one live cache-node process.
+  kKillWorkerNode,     // Power off a worker-pool node; it restarts after `duration`.
+  kPartitionManager,   // Split the manager's node away for `duration`.
+  kPartitionWorkers,   // Split `count` worker-pool nodes away for `duration`.
+  kPartitionFrontEnd,  // Split one front end's node away for `duration`.
+  kBeaconLoss,         // Suppress the manager-beacon multicast for `duration`.
+};
+inline constexpr int kFaultKindCount = 9;
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  SimDuration at = 0;  // Offset from the start of the fault window.
+  FaultKind kind = FaultKind::kCrashWorker;
+  int index = 0;             // Victim selector, modulo the live candidates at fire time.
+  int count = 1;             // kPartitionWorkers: how many nodes to split away.
+  SimDuration duration = 0;  // Outage / partition / loss window (0 where n/a).
+};
+
+struct FaultSchedule {
+  uint64_t seed = 0;
+  std::vector<FaultEvent> events;  // Sorted by `at`.
+
+  // Replayable description — the seed plus one line per event — printed verbatim
+  // by failure reports so a failing run is a copy-pasteable repro.
+  std::string ToScript() const;
+};
+
+struct ScheduleGenConfig {
+  SimDuration horizon = Seconds(60);  // Events land in [0, horizon).
+  int min_events = 2;
+  int max_events = 6;
+  SimDuration min_outage = Seconds(4);
+  SimDuration max_outage = Seconds(20);
+  int max_partition_nodes = 3;
+  // Relative draw weight per FaultKind (enum order). Zero removes a kind.
+  std::vector<double> kind_weights = {1.0, 2.0, 1.0, 1.0, 1.0, 1.5, 1.0, 1.0, 1.0};
+};
+
+FaultSchedule GenerateSchedule(uint64_t seed, const ScheduleGenConfig& config);
+
+}  // namespace sns
+
+#endif  // SRC_CHAOS_SCHEDULE_H_

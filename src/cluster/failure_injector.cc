@@ -1,14 +1,23 @@
 #include "src/cluster/failure_injector.h"
 
+#include <utility>
+
 #include "src/util/logging.h"
+#include "src/util/strings.h"
 
 namespace sns {
+
+void FailureInjector::LogEvent(const std::string& what) {
+  events_.push_back(StrFormat("t=%s %s", FormatTime(cluster_->sim()->now()).c_str(),
+                              what.c_str()));
+}
 
 void FailureInjector::CrashProcessAt(SimTime when, ProcessId pid) {
   cluster_->sim()->ScheduleAt(when, [this, pid] {
     if (cluster_->Find(pid) != nullptr) {
       ++injected_;
       SNS_LOG(kInfo, "inject") << "crashing pid " << pid;
+      LogEvent(StrFormat("crash pid %ld", pid));
       cluster_->Crash(pid);
     }
   });
@@ -17,29 +26,49 @@ void FailureInjector::CrashProcessAt(SimTime when, ProcessId pid) {
 void FailureInjector::CrashNodeAt(SimTime when, NodeId node) {
   cluster_->sim()->ScheduleAt(when, [this, node] {
     ++injected_;
+    LogEvent(StrFormat("kill node %d", node));
     cluster_->CrashNode(node);
   });
 }
 
 void FailureInjector::RestartNodeAt(SimTime when, NodeId node) {
-  cluster_->sim()->ScheduleAt(when, [this, node] { cluster_->RestartNode(node); });
+  cluster_->sim()->ScheduleAt(when, [this, node] {
+    LogEvent(StrFormat("restart node %d", node));
+    cluster_->RestartNode(node);
+  });
 }
 
-void FailureInjector::PartitionAt(SimTime when, const std::vector<NodeId>& minority,
-                                  SimTime heal_at) {
-  cluster_->sim()->ScheduleAt(when, [this, minority] {
+int32_t FailureInjector::PartitionAt(SimTime when, const std::vector<NodeId>& minority,
+                                     SimTime heal_at) {
+  int32_t group = next_group_++;
+  cluster_->sim()->ScheduleAt(when, [this, minority, group] {
     ++injected_;
-    SNS_LOG(kInfo, "inject") << "partitioning " << minority.size() << " node(s) away";
+    SNS_LOG(kInfo, "inject") << "partitioning " << minority.size()
+                             << " node(s) away as group " << group;
+    LogEvent(StrFormat("partition group %d (%zu nodes)", group, minority.size()));
     for (NodeId node : minority) {
-      san_->SetPartition(node, 1);
+      san_->SetPartition(node, group);
     }
   });
   if (heal_at != kTimeNever) {
-    cluster_->sim()->ScheduleAt(heal_at, [this] {
-      SNS_LOG(kInfo, "inject") << "healing partition";
-      san_->HealPartitions();
+    cluster_->sim()->ScheduleAt(heal_at, [this, group] {
+      SNS_LOG(kInfo, "inject") << "healing partition group " << group;
+      LogEvent(StrFormat("heal group %d", group));
+      san_->HealPartition(group);
     });
   }
+  return group;
+}
+
+void FailureInjector::BeaconLossAt(SimTime when, McastGroup group, SimDuration duration) {
+  cluster_->sim()->ScheduleAt(when, [this, group, duration] {
+    ++injected_;
+    SNS_LOG(kInfo, "inject") << "dropping multicast group " << group << " for "
+                             << FormatTime(duration);
+    LogEvent(StrFormat("beacon loss on group %d for %s", group,
+                       FormatTime(duration).c_str()));
+    san_->DropMulticastUntil(group, cluster_->sim()->now() + duration);
+  });
 }
 
 void FailureInjector::RandomProcessCrashes(Rng* rng, SimDuration mean_interval, SimTime until,
@@ -60,10 +89,77 @@ void FailureInjector::ScheduleNextRandomCrash(Rng* rng, SimDuration mean_interva
         if (victim != kInvalidProcess && cluster_->Find(victim) != nullptr) {
           ++injected_;
           SNS_LOG(kInfo, "inject") << "random crash of pid " << victim;
+          LogEvent(StrFormat("random crash pid %ld", victim));
           cluster_->Crash(victim);
         }
         ScheduleNextRandomCrash(rng, mean_interval, until, std::move(picker));
       });
+}
+
+void FailureInjector::RandomFaults(Rng* rng, const RandomFaultMix& mix) {
+  ScheduleNextRandomFault(rng, std::make_shared<const RandomFaultMix>(mix));
+}
+
+void FailureInjector::ScheduleNextRandomFault(Rng* rng,
+                                              std::shared_ptr<const RandomFaultMix> mix) {
+  auto delay =
+      static_cast<SimDuration>(rng->Exponential(static_cast<double>(mix->mean_interval)));
+  SimTime when = cluster_->sim()->now() + delay;
+  if (when > mix->until) {
+    return;
+  }
+  cluster_->sim()->ScheduleAt(when, [this, rng, mix = std::move(mix)] {
+    ApplyRandomFault(rng, *mix);
+    ScheduleNextRandomFault(rng, mix);
+  });
+}
+
+void FailureInjector::ApplyRandomFault(Rng* rng, const RandomFaultMix& mix) {
+  // A class without a picker can never fire, whatever its weight says.
+  std::vector<double> weights = {
+      mix.process_victim ? mix.process_crash_weight : 0.0,
+      mix.node_victim ? mix.node_outage_weight : 0.0,
+      mix.partition_victims ? mix.partition_weight : 0.0,
+  };
+  if (weights[0] <= 0 && weights[1] <= 0 && weights[2] <= 0) {
+    return;
+  }
+  SimTime now = cluster_->sim()->now();
+  switch (rng->WeightedIndex(weights)) {
+    case 0: {
+      ProcessId victim = mix.process_victim();
+      if (victim != kInvalidProcess && cluster_->Find(victim) != nullptr) {
+        ++injected_;
+        SNS_LOG(kInfo, "inject") << "random crash of pid " << victim;
+        LogEvent(StrFormat("random crash pid %ld", victim));
+        cluster_->Crash(victim);
+      }
+      break;
+    }
+    case 1: {
+      NodeId victim = mix.node_victim();
+      if (victim != kInvalidNode && cluster_->NodeUp(victim)) {
+        ++injected_;
+        LogEvent(StrFormat("random node outage: node %d for %s", victim,
+                           FormatTime(mix.node_downtime).c_str()));
+        cluster_->CrashNode(victim);
+        RestartNodeAt(now + mix.node_downtime, victim);
+      }
+      break;
+    }
+    case 2: {
+      std::vector<NodeId> minority = mix.partition_victims();
+      if (!minority.empty()) {
+        LogEvent(StrFormat("random partition of %zu node(s) for %s", minority.size(),
+                           FormatTime(mix.partition_duration).c_str()));
+        // PartitionAt schedules at absolute times; firing "now" applies instantly.
+        PartitionAt(now, minority, now + mix.partition_duration);
+      }
+      break;
+    }
+    default:
+      break;
+  }
 }
 
 }  // namespace sns

@@ -2,18 +2,21 @@
 // partitions.
 //
 // Used by the fault-tolerance experiments (paper §4.5 manually kills two distillers
-// mid-run) and by the property tests that assert the system masks arbitrary
-// transient faults.
+// mid-run), by the property tests that assert the system masks arbitrary transient
+// faults, and by the chaos-campaign harness (src/chaos), which compiles a seeded
+// fault schedule into scripted calls on this class.
 
 #ifndef SRC_CLUSTER_FAILURE_INJECTOR_H_
 #define SRC_CLUSTER_FAILURE_INJECTOR_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cluster/cluster.h"
 #include "src/util/rng.h"
+#include "src/util/time.h"
 
 namespace sns {
 
@@ -25,9 +28,14 @@ class FailureInjector {
   void CrashProcessAt(SimTime when, ProcessId pid);
   void CrashNodeAt(SimTime when, NodeId node);
   void RestartNodeAt(SimTime when, NodeId node);
-  // Splits `minority` away from the rest of the cluster at `when`, healing at
-  // `heal_at` (use kTimeNever for a permanent split).
-  void PartitionAt(SimTime when, const std::vector<NodeId>& minority, SimTime heal_at);
+  // Splits `minority` into a freshly allocated partition group at `when`, healing
+  // only that group at `heal_at` (kTimeNever = permanent). Each call gets its own
+  // group, so overlapping splits coexist and heal independently. Returns the
+  // allocated group id.
+  int32_t PartitionAt(SimTime when, const std::vector<NodeId>& minority, SimTime heal_at);
+  // Suppresses every multicast send to `group` during [when, when + duration) —
+  // the beacon-loss fault (paper §4.6's lost control traffic, made injectable).
+  void BeaconLossAt(SimTime when, McastGroup group, SimDuration duration);
 
   // --- Randomized faults ----------------------------------------------------------
   // Crashes processes selected by `victim_picker` (returns kInvalidProcess to skip a
@@ -36,15 +44,41 @@ class FailureInjector {
   void RandomProcessCrashes(Rng* rng, SimDuration mean_interval, SimTime until,
                             std::function<ProcessId()> victim_picker);
 
+  // Mixed randomized faults: each round picks a fault class by weight. A picker
+  // returning no victim (kInvalidProcess / kInvalidNode / empty vector) skips the
+  // round; a class with weight 0 or no picker is never drawn.
+  struct RandomFaultMix {
+    SimDuration mean_interval = Seconds(10);
+    SimTime until = 0;
+    double process_crash_weight = 1.0;
+    double node_outage_weight = 0.0;  // CrashNode, then RestartNode after downtime.
+    double partition_weight = 0.0;    // Timed split, healed after duration.
+    SimDuration node_downtime = Seconds(5);
+    SimDuration partition_duration = Seconds(5);
+    std::function<ProcessId()> process_victim;
+    std::function<NodeId()> node_victim;
+    std::function<std::vector<NodeId>()> partition_victims;
+  };
+  void RandomFaults(Rng* rng, const RandomFaultMix& mix);
+
+  // --- Observability --------------------------------------------------------------
   int64_t injected_count() const { return injected_; }
+  // Human-readable, sim-time-stamped record of every fault actually applied (in
+  // injection order); deterministic for a given seed, so chaos traces can diff it.
+  const std::vector<std::string>& event_log() const { return events_; }
 
  private:
   void ScheduleNextRandomCrash(Rng* rng, SimDuration mean_interval, SimTime until,
                                std::function<ProcessId()> victim_picker);
+  void ScheduleNextRandomFault(Rng* rng, std::shared_ptr<const RandomFaultMix> mix);
+  void ApplyRandomFault(Rng* rng, const RandomFaultMix& mix);
+  void LogEvent(const std::string& what);
 
   Cluster* cluster_;
   San* san_;
   int64_t injected_ = 0;
+  int32_t next_group_ = 1;  // Partition groups allocated per PartitionAt call.
+  std::vector<std::string> events_;
 };
 
 }  // namespace sns

@@ -170,6 +170,14 @@ size_t San::GroupSize(McastGroup group) const {
 }
 
 void San::SendMulticast(McastGroup group, Message msg) {
+  auto drop = mcast_drop_until_.find(group);
+  if (drop != mcast_drop_until_.end()) {
+    if (sim_->now() < drop->second) {
+      ++multicast_suppressed_;
+      return;
+    }
+    mcast_drop_until_.erase(drop);  // Window elapsed.
+  }
   msg.sent_at = sim_->now();
   msg.transport = Transport::kDatagram;
   msg.group = group;
@@ -210,6 +218,26 @@ void San::HealPartitions() {
   for (auto& [id, state] : nodes_) {
     state.partition_group = 0;
   }
+}
+
+void San::HealPartition(int32_t partition_group) {
+  if (partition_group == 0) {
+    return;  // Group 0 is the default side; "healing" it is meaningless.
+  }
+  for (auto& [id, state] : nodes_) {
+    if (state.partition_group == partition_group) {
+      state.partition_group = 0;
+    }
+  }
+}
+
+int32_t San::PartitionGroupOf(NodeId node) const {
+  const NodeState* state = GetNode(node);
+  return state != nullptr ? state->partition_group : 0;
+}
+
+void San::DropMulticastUntil(McastGroup group, SimTime until) {
+  mcast_drop_until_[group] = until;
 }
 
 bool San::Reachable(NodeId a, NodeId b) const {

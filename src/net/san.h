@@ -82,8 +82,19 @@ class San {
   // --- Failure injection ------------------------------------------------------
   // Nodes in different partition groups cannot exchange traffic. Default group 0.
   void SetPartition(NodeId node, int32_t partition_group);
+  // Returns every node to the default group, collapsing all partitions at once.
   void HealPartitions();
+  // Returns only the nodes in `partition_group` to the default group, leaving any
+  // other concurrent split in place (multi-group chaos schedules heal
+  // independently).
+  void HealPartition(int32_t partition_group);
+  int32_t PartitionGroupOf(NodeId node) const;
   bool Reachable(NodeId a, NodeId b) const;
+
+  // Silently drops every multicast send to `group` until `until` (models the
+  // beacon-channel loss of §4.6 as an injectable fault). A later call replaces the
+  // group's window.
+  void DropMulticastUntil(McastGroup group, SimTime until);
 
   // A down node neither sends nor receives; all its in-flight traffic is lost.
   void SetNodeUp(NodeId node, bool up);
@@ -94,6 +105,7 @@ class San {
   int64_t datagrams_dropped() const { return datagrams_dropped_; }
   int64_t reliable_failed_fast() const { return reliable_failed_fast_; }
   int64_t messages_lost_unreachable() const { return messages_lost_unreachable_; }
+  int64_t multicast_suppressed() const { return multicast_suppressed_; }
   std::vector<NodeId> Nodes() const;
 
   Simulator* sim() { return sim_; }
@@ -131,12 +143,14 @@ class San {
   std::map<NodeId, NodeState> nodes_;
   std::unordered_map<Endpoint, MessageHandler, EndpointHash> handlers_;
   std::map<McastGroup, std::set<std::pair<NodeId, Port>>> groups_;
+  std::map<McastGroup, SimTime> mcast_drop_until_;
   std::unordered_set<ConnKey, ConnKeyHash> connections_;
 
   int64_t messages_delivered_ = 0;
   int64_t datagrams_dropped_ = 0;
   int64_t reliable_failed_fast_ = 0;
   int64_t messages_lost_unreachable_ = 0;
+  int64_t multicast_suppressed_ = 0;
 };
 
 }  // namespace sns

@@ -35,11 +35,16 @@ void CacheNodeProcess::OnMessage(const Message& msg) {
   switch (msg.type) {
     case kMsgManagerBeacon: {
       const auto& beacon = static_cast<const ManagerBeaconPayload&>(*msg.payload);
+      if (sns_config_.manager_epoch_fencing && beacon.epoch < manager_epoch_) {
+        break;  // Stale incarnation still beaconing after failover; ignore.
+      }
+      manager_epoch_ = beacon.epoch;
       if (beacon.manager != manager_) {
         manager_ = beacon.manager;
         auto payload = std::make_shared<RegisterComponentPayload>();
         payload->kind = ComponentKind::kCacheNode;
         payload->component = endpoint();
+        payload->manager_epoch = manager_epoch_;
         Message out;
         out.dst = manager_;
         out.type = kMsgRegisterComponent;
@@ -128,6 +133,7 @@ void CacheNodeProcess::ReportLoad() {
   payload->kind = ComponentKind::kCacheNode;
   payload->component = endpoint();
   payload->queue_length = static_cast<double>(outstanding_);
+  payload->manager_epoch = manager_epoch_;
   RefreshGauges();
   Message msg;
   msg.dst = manager_;

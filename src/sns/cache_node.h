@@ -57,6 +57,7 @@ class CacheNodeProcess : public Process {
   CacheNodeConfig config_;
   LruCache<std::string, ContentPtr> cache_;
   Endpoint manager_;
+  uint64_t manager_epoch_ = 0;  // Highest beacon epoch accepted (fencing).
   int64_t outstanding_ = 0;
   // Registry instruments under "cache.n<node>.*", bound in OnStart.
   Counter* gets_ = nullptr;

@@ -37,6 +37,15 @@ struct SnsConfig {
   // FE-side: beacon silence after which the front end declares the manager dead and
   // restarts it (process-peer fault tolerance).
   SimDuration manager_silence_restart = Seconds(4);
+  // Manager-epoch fencing (split-brain resolution). When a partition strands the
+  // incumbent manager and the majority side fails over, two manager incarnations
+  // coexist until the partition heals. With fencing on, every component accepts
+  // only the highest epoch seen and the stale manager demotes itself (self-crash)
+  // on observing a higher-epoch beacon or registration, so the cluster converges
+  // to exactly one manager within a beacon period of the heal. Off reproduces the
+  // pre-epoch behavior (components flap between rival beacons forever) — kept as a
+  // switch so regression tests can demonstrate the failure mode.
+  bool manager_epoch_fencing = true;
   // How long the manager stub keeps a worker's view (estimator state, in-flight
   // count) after the worker goes missing from a beacon. Beacons ride best-effort
   // multicast, so a single dropped datagram must not reset a worker's load

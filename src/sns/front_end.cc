@@ -125,7 +125,9 @@ void FrontEndProcess::OnMessage(const Message& msg) {
 
 void FrontEndProcess::HandleBeacon(const ManagerBeaconPayload& beacon) {
   bool new_manager = beacon.manager != stub_.manager();
-  stub_.OnBeacon(beacon, sim()->now());
+  if (!stub_.OnBeacon(beacon, sim()->now())) {
+    return;  // Fenced: a stale incarnation still beaconing after failover.
+  }
   uint64_t ring_changes = stub_.cache_membership_changes();
   if (ring_changes > ring_changes_seen_) {
     ring_remaps_->Increment(static_cast<int64_t>(ring_changes - ring_changes_seen_));
@@ -144,6 +146,7 @@ void FrontEndProcess::RegisterWithManager() {
   payload->kind = ComponentKind::kFrontEnd;
   payload->component = endpoint();
   payload->fe_index = options_.fe_index;
+  payload->manager_epoch = stub_.manager_epoch();
   Message msg;
   msg.dst = stub_.manager();
   msg.type = kMsgRegisterComponent;
@@ -163,6 +166,7 @@ void FrontEndProcess::Heartbeat() {
   payload->queue_length = active_;
   payload->completed_tasks = completed_requests();
   payload->fe_index = options_.fe_index;
+  payload->manager_epoch = stub_.manager_epoch();
   Message msg;
   msg.dst = stub_.manager();
   msg.type = kMsgLoadReport;
@@ -181,7 +185,10 @@ void FrontEndProcess::Watchdog() {
                                    << FormatDuration(stub_.BeaconSilence(sim()->now()))
                                    << "; restarting manager";
     manager_restarts_->Increment();
-    launcher_->RelaunchManager();
+    // From this node's vantage point: an incumbent stranded across a partition
+    // must not satisfy the idempotence check, or the reachable side runs
+    // managerless for the whole outage.
+    launcher_->RelaunchManager(node());
   }
 }
 

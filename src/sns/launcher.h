@@ -21,12 +21,17 @@ class ComponentLauncher {
   // Spawns a worker of `type` on `node`. Returns kInvalidProcess on failure.
   virtual ProcessId LaunchWorker(const std::string& type, NodeId node) = 0;
 
-  // Ensures a manager is running, starting one if needed (idempotent: concurrent
-  // detection by several front ends must not yield two managers).
-  virtual ProcessId RelaunchManager() = 0;
+  // Ensures a manager usable by `requester` is running, starting one if needed.
+  // Idempotence is reachability-aware: an incumbent that is alive AND reachable
+  // from the requester's node makes the call a no-op, but an incumbent stranded on
+  // the far side of a SAN partition does not block failover — a replacement (with a
+  // higher epoch) is spawned on a node the requester can reach. kInvalidNode means
+  // "no particular vantage point" (bootstrap, tests): plain existence suffices.
+  virtual ProcessId RelaunchManager(NodeId requester = kInvalidNode) = 0;
 
-  // Ensures front end `fe_index` is running, restarting it if needed.
-  virtual ProcessId RelaunchFrontEnd(int fe_index) = 0;
+  // Ensures front end `fe_index` is running and reachable from `requester`,
+  // restarting it if needed (same reachability contract as RelaunchManager).
+  virtual ProcessId RelaunchFrontEnd(int fe_index, NodeId requester = kInvalidNode) = 0;
 
   // Ensures the profile database is running (the paper's commercial deployments use
   // primary/backup failover for the ACID component, §3.2; here the manager detects

@@ -7,10 +7,12 @@
 
 namespace sns {
 
-ManagerProcess::ManagerProcess(const SnsConfig& config, ComponentLauncher* launcher)
+ManagerProcess::ManagerProcess(const SnsConfig& config, ComponentLauncher* launcher,
+                               uint64_t epoch)
     : Process("manager"),
       config_(config),
       launcher_(launcher),
+      epoch_(epoch),
       workers_(config.worker_ttl),
       front_ends_(config.front_end_ttl),
       cache_nodes_(config.worker_ttl) {}
@@ -22,24 +24,40 @@ void ManagerProcess::OnStart() {
   reaps_initiated_ = metrics()->GetCounter("manager.reaps_initiated");
   fe_restarts_ = metrics()->GetCounter("manager.fe_restarts");
   profile_db_failovers_ = metrics()->GetCounter("manager.profile_db_failovers");
+  demotions_ = metrics()->GetCounter("manager.demotions");
   known_workers_ = metrics()->GetGauge("manager.known_workers");
+  epoch_gauge_ = metrics()->GetGauge("manager.epoch");
+  epoch_gauge_->Set(static_cast<double>(epoch_));
+  // Subscribing to its own beacon group is how a manager discovers a rival
+  // incarnation after a partition heals (its own beacons don't loop back).
+  JoinGroup(kGroupManagerBeacon);
   beacon_timer_ = std::make_unique<PeriodicTimer>(sim(), config_.manager_beacon_period,
                                                   [this] { Beacon(); });
   // First beacon goes out almost immediately so a restarted manager re-announces
   // itself fast (workers re-register on hearing it, §3.1.3).
   beacon_timer_->StartWithDelay(Milliseconds(10));
-  SNS_LOG(kInfo, "manager") << "manager started at " << endpoint().ToString();
+  SNS_LOG(kInfo, "manager") << "manager epoch " << epoch_ << " started at "
+                            << endpoint().ToString();
 }
 
-void ManagerProcess::OnStop() { beacon_timer_.reset(); }
+void ManagerProcess::OnStop() {
+  beacon_timer_.reset();
+  LeaveGroup(kGroupManagerBeacon);
+}
 
 void ManagerProcess::OnMessage(const Message& msg) {
+  if (demoted_) {
+    return;  // Fenced out; the self-crash is already scheduled.
+  }
   switch (msg.type) {
     case kMsgRegisterComponent:
       HandleRegister(static_cast<const RegisterComponentPayload&>(*msg.payload));
       break;
     case kMsgLoadReport:
       HandleLoadReport(static_cast<const LoadReportPayload&>(*msg.payload));
+      break;
+    case kMsgManagerBeacon:
+      HandleRivalBeacon(static_cast<const ManagerBeaconPayload&>(*msg.payload));
       break;
     case kMsgSpawnRequest: {
       // A spawn request originates from a request that found no worker; keep it in
@@ -55,7 +73,39 @@ void ManagerProcess::OnMessage(const Message& msg) {
   }
 }
 
+bool ManagerProcess::FenceAgainst(uint64_t observed_epoch, const char* evidence) {
+  if (!config_.manager_epoch_fencing || observed_epoch <= epoch_) {
+    return false;
+  }
+  demoted_ = true;
+  demotions_->Increment();
+  SNS_LOG(kWarning, "manager") << "epoch " << epoch_ << " observed epoch " << observed_epoch
+                               << " via " << evidence << "; demoting (self-crash)";
+  beacon_timer_.reset();  // Go silent immediately; no farewell beacon.
+  // Crash destroys this process object, so it must not run inside the current
+  // message dispatch. Capture cluster + pid by value; Crash is a no-op if
+  // something else killed the process first.
+  Cluster* owner = cluster();
+  ProcessId me = pid();
+  sim()->Schedule(0, [owner, me] {
+    if (owner->Find(me) != nullptr) {
+      owner->Crash(me);
+    }
+  });
+  return true;
+}
+
+void ManagerProcess::HandleRivalBeacon(const ManagerBeaconPayload& beacon) {
+  if (beacon.manager == endpoint()) {
+    return;  // Our own beacon (defensive; multicast excludes the sender).
+  }
+  FenceAgainst(beacon.epoch, "rival beacon");
+}
+
 void ManagerProcess::HandleRegister(const RegisterComponentPayload& p) {
+  if (FenceAgainst(p.manager_epoch, "registration")) {
+    return;  // The component already follows a newer incarnation.
+  }
   SimTime now = sim()->now();
   switch (p.kind) {
     case ComponentKind::kWorker: {
@@ -93,6 +143,9 @@ ManagerProcess::WorkerState* ManagerProcess::UpsertWorker(const Endpoint& ep,
 }
 
 void ManagerProcess::HandleLoadReport(const LoadReportPayload& p) {
+  if (FenceAgainst(p.manager_epoch, "load report")) {
+    return;
+  }
   reports_received_->Increment();
   // Aggregating an announcement costs CPU; at §4.6's 1800 announcements/s this is
   // what bounds the manager's ultimate capacity.
@@ -102,10 +155,17 @@ void ManagerProcess::HandleLoadReport(const LoadReportPayload& p) {
     case ComponentKind::kWorker: {
       if (p.queue_length < 0) {
         // A stub observed this worker dead (broken connection); drop it now rather
-        // than waiting for TTL expiry.
+        // than waiting for TTL expiry. The death is a capacity deficit at the
+        // demand that sized the pool, so restart a replacement immediately (peer
+        // fault tolerance, §3.1.3) instead of waiting out the load path's full
+        // cooldown. Several workers dying at once can land inside the 1 s respawn
+        // guard; retry each blocked replacement once after the guard expires.
         RemoveWorker(p.component);
-        if (KnownWorkerCount(p.worker_type) < static_cast<size_t>(config_.min_workers_per_type)) {
-          TrySpawn(p.worker_type, /*bypass_cooldown=*/true);
+        if (!TrySpawn(p.worker_type, /*bypass_cooldown=*/true)) {
+          std::string type = p.worker_type;
+          After(Milliseconds(1100), [this, type] {
+            TrySpawn(type, /*bypass_cooldown=*/true);
+          });
         }
         return;
       }
@@ -148,11 +208,15 @@ bool ManagerProcess::HandleSpawnRequest(const SpawnRequestPayload& p) {
 }
 
 void ManagerProcess::Beacon() {
+  if (demoted_) {
+    return;
+  }
   ExpireSoftState();
   RunPolicy();
 
   auto payload = std::make_shared<ManagerBeaconPayload>();
   payload->manager = endpoint();
+  payload->epoch = epoch_;
   payload->beacon_seq = ++beacon_seq_;
   SimTime now = sim()->now();
   workers_.ForEach(now, [&](const Endpoint& ep, const WorkerState& state) {
@@ -187,7 +251,9 @@ void ManagerProcess::ExpireSoftState() {
     SNS_LOG(kWarning, "manager") << "front end " << state.fe_index << " at " << ep.ToString()
                                  << " silent; restarting (process peer)";
     fe_restarts_->Increment();
-    launcher_->RelaunchFrontEnd(state.fe_index);
+    // Pass our own vantage point: a replacement the manager cannot reach would
+    // never re-register and would be "restarted" again every TTL.
+    launcher_->RelaunchFrontEnd(state.fe_index, node());
   });
   cache_nodes_.Expire(now, nullptr);
   // ACID-component failover: the profile DB's heartbeats stopped — start a fresh
@@ -307,7 +373,10 @@ NodeId ManagerProcess::PickNodeForWorker(const std::string& type) {
     int best_count = config_.max_workers_per_node;
     for (NodeId candidate : nodes) {
       if (cluster()->IsOverflowNode(candidate) != overflow || reserved.count(candidate) > 0 ||
-          !cluster()->WorkersAllowed(candidate)) {
+          !cluster()->WorkersAllowed(candidate) ||
+          !cluster()->san()->Reachable(node(), candidate)) {
+        // A node on the far side of a partition would host a worker this manager
+        // could never hear from; spawn only where the registration can return.
         continue;
       }
       int count = 0;
@@ -335,6 +404,8 @@ NodeId ManagerProcess::PickNodeForWorker(const std::string& type) {
 void ManagerProcess::RemoveWorker(const Endpoint& ep) { workers_.Erase(ep); }
 
 size_t ManagerProcess::KnownWorkerCount() const { return workers_.LiveCount(sim()->now()); }
+
+size_t ManagerProcess::KnownFrontEndCount() const { return front_ends_.LiveCount(sim()->now()); }
 
 size_t ManagerProcess::KnownWorkerCount(const std::string& type) const {
   size_t count = 0;

@@ -36,11 +36,19 @@ namespace sns {
 
 class ManagerProcess : public Process {
  public:
-  ManagerProcess(const SnsConfig& config, ComponentLauncher* launcher);
+  // `epoch` is this incarnation's fencing number, allocated monotonically by the
+  // launcher. Components ignore beacons below the highest epoch they have seen,
+  // and a manager that observes a higher epoch (a rival's beacon, or a
+  // registration stamped with one) demotes itself, so split-brain resolves
+  // deterministically once a partition heals.
+  ManagerProcess(const SnsConfig& config, ComponentLauncher* launcher, uint64_t epoch = 1);
 
   void OnStart() override;
   void OnStop() override;
   void OnMessage(const Message& msg) override;
+
+  uint64_t epoch() const { return epoch_; }
+  bool demoted() const { return demoted_; }
 
   // --- Observability -----------------------------------------------------------------
   // Counters live in the cluster's MetricsRegistry under "manager.*" and are
@@ -51,7 +59,9 @@ class ManagerProcess : public Process {
   int64_t reaps_initiated() const { return CounterOr0(reaps_initiated_); }
   int64_t fe_restarts() const { return CounterOr0(fe_restarts_); }
   int64_t profile_db_failovers() const { return CounterOr0(profile_db_failovers_); }
+  int64_t demotions() const { return CounterOr0(demotions_); }
   size_t KnownWorkerCount() const;
+  size_t KnownFrontEndCount() const;
   size_t KnownWorkerCount(const std::string& type) const;
   // Current smoothed queue average across workers of `type` (the spawn metric).
   double SmoothedQueue(const std::string& type) const;
@@ -74,6 +84,12 @@ class ManagerProcess : public Process {
 
   void HandleRegister(const RegisterComponentPayload& p);
   void HandleLoadReport(const LoadReportPayload& p);
+  // A beacon from another manager incarnation arrived (the manager subscribes to
+  // its own beacon group exactly to notice rivals). Higher epoch => demote.
+  void HandleRivalBeacon(const ManagerBeaconPayload& beacon);
+  // Returns true when `observed_epoch` proves a newer incarnation exists and this
+  // manager must stop. Initiates the (deferred) self-crash.
+  bool FenceAgainst(uint64_t observed_epoch, const char* evidence);
   // Returns true if a spawn was initiated.
   bool HandleSpawnRequest(const SpawnRequestPayload& p);
   // Shared by explicit registration and the implicit load-report path: installs (or
@@ -91,6 +107,11 @@ class ManagerProcess : public Process {
 
   SnsConfig config_;
   ComponentLauncher* launcher_;
+  uint64_t epoch_;
+  // Set once a higher epoch is observed: beaconing stops immediately and the
+  // process crashes itself on the next event (Crash destroys `this`, so it cannot
+  // run inside the message handler that noticed the rival).
+  bool demoted_ = false;
 
   SoftStateTable<Endpoint, WorkerState, EndpointHash> workers_;
   SoftStateTable<Endpoint, FrontEndState, EndpointHash> front_ends_;
@@ -115,7 +136,9 @@ class ManagerProcess : public Process {
   Counter* reaps_initiated_ = nullptr;
   Counter* fe_restarts_ = nullptr;
   Counter* profile_db_failovers_ = nullptr;
+  Counter* demotions_ = nullptr;
   Gauge* known_workers_ = nullptr;
+  Gauge* epoch_gauge_ = nullptr;
 };
 
 }  // namespace sns

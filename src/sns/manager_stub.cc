@@ -4,7 +4,14 @@
 
 namespace sns {
 
-void ManagerStub::OnBeacon(const ManagerBeaconPayload& beacon, SimTime now) {
+bool ManagerStub::OnBeacon(const ManagerBeaconPayload& beacon, SimTime now) {
+  if (config_.manager_epoch_fencing && beacon.epoch < manager_epoch_) {
+    // Stale incarnation (lower epoch than one we already follow): after a
+    // partition heals, the stranded manager may beacon a few more times before it
+    // demotes; acting on those would flap the whole worker/cache view back.
+    ++fenced_beacons_;
+    return false;
+  }
   if (beacon.manager != manager_) {
     // New manager incarnation: its hints are authoritative; drop any view carried
     // over from the previous incarnation rather than letting it age through the
@@ -12,6 +19,7 @@ void ManagerStub::OnBeacon(const ManagerBeaconPayload& beacon, SimTime now) {
     workers_.clear();
   }
   manager_ = beacon.manager;
+  manager_epoch_ = beacon.epoch;
   last_beacon_ = now;
   ++beacons_seen_;
 
@@ -61,6 +69,7 @@ void ManagerStub::OnBeacon(const ManagerBeaconPayload& beacon, SimTime now) {
   }
   cache_nodes_ = std::move(fresh);
   profile_db_ = beacon.profile_db;
+  return true;
 }
 
 std::optional<Endpoint> ManagerStub::CacheNodeForKey(const std::string& key) const {

@@ -44,8 +44,12 @@ class ManagerStub {
   ManagerStub(const SnsConfig& config, Rng* rng)
       : config_(config), rng_(rng), cache_ring_(config.cache_ring_vnodes) {}
 
-  // Feed a received beacon into the cache.
-  void OnBeacon(const ManagerBeaconPayload& beacon, SimTime now);
+  // Feed a received beacon into the cache. Returns false when the beacon was
+  // fenced: it carries a lower epoch than the highest this stub has accepted,
+  // meaning it came from a stale manager incarnation (e.g. one stranded by a
+  // partition that has since been failed over). Fenced beacons change nothing —
+  // callers must not re-register or otherwise act on them.
+  bool OnBeacon(const ManagerBeaconPayload& beacon, SimTime now);
 
   // Lottery-schedules a worker of `type`; nullopt if none is known alive. When
   // `exclude` is given (the worker a retry just failed on), it is picked only if
@@ -63,6 +67,10 @@ class ManagerStub {
 
   bool ManagerKnown() const { return manager_.valid(); }
   const Endpoint& manager() const { return manager_; }
+  // Highest beacon epoch accepted so far (stamped onto registrations so a stale
+  // manager hearing them learns it has been superseded).
+  uint64_t manager_epoch() const { return manager_epoch_; }
+  uint64_t fenced_beacons() const { return fenced_beacons_; }
   // Time since the last beacon; kTimeNever if none ever received.
   SimDuration BeaconSilence(SimTime now) const;
   bool ManagerSuspectedDead(SimTime now) const;
@@ -108,8 +116,10 @@ class ManagerStub {
   Rng* rng_;
   size_t round_robin_ = 0;
   Endpoint manager_;
+  uint64_t manager_epoch_ = 0;
   SimTime last_beacon_ = -1;
   uint64_t beacons_seen_ = 0;
+  uint64_t fenced_beacons_ = 0;
   std::unordered_map<Endpoint, WorkerView, EndpointHash> workers_;
   std::vector<Endpoint> cache_nodes_;
   ConsistentHashRing cache_ring_;

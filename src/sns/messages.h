@@ -101,6 +101,10 @@ struct RegisterComponentPayload : Payload {
   Endpoint component;       // Where the component receives traffic.
   bool interchangeable = true;
   int fe_index = -1;        // For front ends: identity used for peer restart.
+  // The manager epoch the sender last accepted. A manager that receives a
+  // registration stamped with a higher epoch knows a newer incarnation exists and
+  // demotes itself (split-brain fencing). 0 = sender has not seen any beacon.
+  uint64_t manager_epoch = 0;
 };
 
 struct LoadReportPayload : Payload {
@@ -113,6 +117,7 @@ struct LoadReportPayload : Payload {
   // affinity class just like an explicit RegisterComponent would.
   bool interchangeable = true;
   int fe_index = -1;
+  uint64_t manager_epoch = 0;  // Same fencing role as RegisterComponentPayload's.
 };
 
 // One worker's entry in the manager's beaconed load hints.
@@ -125,6 +130,12 @@ struct WorkerHint {
 
 struct ManagerBeaconPayload : Payload {
   Endpoint manager;
+  // Incarnation number, allocated monotonically by the launcher. Components accept
+  // only the highest epoch they have seen, so after a partition heals, beacons from
+  // a stale incarnation cannot flap the soft state back; the stale manager itself
+  // demotes on hearing a higher-epoch beacon. Epoch 0 (hand-built beacons in unit
+  // tests) fences nothing.
+  uint64_t epoch = 0;
   uint64_t beacon_seq = 0;
   std::vector<WorkerHint> workers;
   std::vector<Endpoint> cache_nodes;

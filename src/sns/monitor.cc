@@ -16,6 +16,7 @@ void MonitorProcess::OnStart() {
   beacons_observed_ = metrics()->GetCounter("monitor.beacons_observed");
   reports_observed_ = metrics()->GetCounter("monitor.reports_observed");
   manager_restarts_ = metrics()->GetCounter("monitor.manager_restarts");
+  stale_beacons_fenced_ = metrics()->GetCounter("monitor.stale_beacons_fenced");
   JoinGroup(kGroupManagerBeacon);
   JoinGroup(kGroupMonitor);
   sweep_timer_ = std::make_unique<PeriodicTimer>(sim(), config_.monitor_report_period,
@@ -33,9 +34,14 @@ void MonitorProcess::OnMessage(const Message& msg) {
   SimTime now = sim()->now();
   switch (msg.type) {
     case kMsgManagerBeacon: {
+      const auto& beacon = static_cast<const ManagerBeaconPayload&>(*msg.payload);
+      if (config_.manager_epoch_fencing && beacon.epoch < manager_epoch_) {
+        stale_beacons_fenced_->Increment();
+        break;  // A superseded incarnation must not refresh liveness or views.
+      }
+      manager_epoch_ = beacon.epoch;
       beacons_observed_->Increment();
       last_beacon_at_ = now;
-      const auto& beacon = static_cast<const ManagerBeaconPayload&>(*msg.payload);
       ComponentView manager_view;
       manager_view.kind = ComponentKind::kManager;
       manager_view.label = "manager";
@@ -88,7 +94,7 @@ void MonitorProcess::Sweep() {
     Raise("manager", "manager beacons silent with no surviving peer; restarting");
     manager_restarts_->Increment();
     last_beacon_at_ = sim()->now();  // One restart attempt per window.
-    launcher_->RelaunchManager();
+    launcher_->RelaunchManager(node());
   }
 }
 

@@ -58,6 +58,7 @@ class MonitorProcess : public Process {
   int64_t beacons_observed() const { return CounterOr0(beacons_observed_); }
   int64_t reports_observed() const { return CounterOr0(reports_observed_); }
   int64_t manager_restarts_triggered() const { return CounterOr0(manager_restarts_); }
+  int64_t stale_beacons_fenced() const { return CounterOr0(stale_beacons_fenced_); }
 
   // The textual "visualization panel": one line per live component with its kind,
   // location, and most recent metrics.
@@ -86,11 +87,13 @@ class MonitorProcess : public Process {
   std::vector<MonitorAlarm> alarms_;
   ComponentLauncher* launcher_;
   SimTime last_beacon_at_ = -1;
+  uint64_t manager_epoch_ = 0;  // Highest beacon epoch accepted (fencing).
   std::unique_ptr<PeriodicTimer> sweep_timer_;
   // Registry instruments under "monitor.*", bound in OnStart.
   Counter* beacons_observed_ = nullptr;
   Counter* reports_observed_ = nullptr;
   Counter* manager_restarts_ = nullptr;
+  Counter* stale_beacons_fenced_ = nullptr;
 };
 
 }  // namespace sns

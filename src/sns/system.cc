@@ -46,8 +46,8 @@ void SnsSystem::Start() {
   overflow_pool_ = cluster_.AddNodes(topology_.overflow_nodes, overflow);
 
   // --- Spawn the infrastructure processes. ---
-  manager_pid_ =
-      cluster_.Spawn(manager_node_, std::make_unique<ManagerProcess>(config_, this));
+  manager_pid_ = cluster_.Spawn(
+      manager_node_, std::make_unique<ManagerProcess>(config_, this, ++next_manager_epoch_));
   for (int i = 0; i < topology_.cache_nodes; ++i) {
     cache_pids_.push_back(cluster_.Spawn(
         cache_nodes_[static_cast<size_t>(i)],
@@ -113,36 +113,50 @@ ProcessId SnsSystem::LaunchWorker(const std::string& type, NodeId node) {
   return cluster_.Spawn(node, std::make_unique<WorkerProcess>(config_, std::move(worker)));
 }
 
-ProcessId SnsSystem::RelaunchManager() {
-  if (manager_pid_ != kInvalidProcess && cluster_.Find(manager_pid_) != nullptr) {
-    return manager_pid_;  // Already running: restart requests are idempotent.
+ProcessId SnsSystem::RelaunchManager(NodeId requester) {
+  Process* incumbent =
+      manager_pid_ != kInvalidProcess ? cluster_.Find(manager_pid_) : nullptr;
+  if (incumbent != nullptr && RequesterCanReach(requester, incumbent->node())) {
+    return manager_pid_;  // Alive and visible to the requester: idempotent no-op.
   }
-  NodeId node = PickUpNodePreferring(manager_node_);
+  // Either no manager exists, or the incumbent is stranded on the far side of a SAN
+  // partition from the requester. In the latter case failover must not be blocked by
+  // the unreachable incumbent: spawn a replacement with a higher epoch on the
+  // requester's side. Epoch fencing demotes the loser once the partition heals.
+  NodeId node = PickUpNodePreferring(manager_node_, requester);
   if (node == kInvalidNode) {
     SNS_LOG(kError, "system") << "no node available to restart the manager";
     return kInvalidProcess;
   }
-  manager_pid_ = cluster_.Spawn(node, std::make_unique<ManagerProcess>(config_, this));
+  if (incumbent != nullptr) {
+    SNS_LOG(kWarning, "system")
+        << "manager on node " << incumbent->node() << " unreachable from node " << requester
+        << "; launching epoch " << next_manager_epoch_ + 1 << " on node " << node;
+  }
+  manager_pid_ = cluster_.Spawn(
+      node, std::make_unique<ManagerProcess>(config_, this, ++next_manager_epoch_));
   // Restoring the control plane restores the configured roster: a freshly started
   // manager has empty soft state, so front ends (or the profile DB) that died in
   // the same window would otherwise never come back — the launcher owns the
   // deployment configuration, the manager only its observations.
   for (int i = 0; i < static_cast<int>(fe_pids_.size()); ++i) {
-    RelaunchFrontEnd(i);
+    RelaunchFrontEnd(i, requester);
   }
   RelaunchProfileDb();
   return manager_pid_;
 }
 
-ProcessId SnsSystem::RelaunchFrontEnd(int fe_index) {
+ProcessId SnsSystem::RelaunchFrontEnd(int fe_index, NodeId requester) {
   if (fe_index < 0 || fe_index >= static_cast<int>(fe_pids_.size())) {
     return kInvalidProcess;
   }
   auto idx = static_cast<size_t>(fe_index);
-  if (fe_pids_[idx] != kInvalidProcess && cluster_.Find(fe_pids_[idx]) != nullptr) {
+  Process* incumbent =
+      fe_pids_[idx] != kInvalidProcess ? cluster_.Find(fe_pids_[idx]) : nullptr;
+  if (incumbent != nullptr && RequesterCanReach(requester, incumbent->node())) {
     return fe_pids_[idx];
   }
-  NodeId node = PickUpNodePreferring(fe_nodes_[idx]);
+  NodeId node = PickUpNodePreferring(fe_nodes_[idx], requester);
   if (node == kInvalidNode || !logic_factory_) {
     return kInvalidProcess;
   }
@@ -162,7 +176,7 @@ ProcessId SnsSystem::RelaunchProfileDb() {
   if (profile_db_pid_ != kInvalidProcess && cluster_.Find(profile_db_pid_) != nullptr) {
     return profile_db_pid_;
   }
-  NodeId node = PickUpNodePreferring(profile_db_node_);
+  NodeId node = PickUpNodePreferring(profile_db_node_, kInvalidNode);
   if (node == kInvalidNode) {
     return kInvalidProcess;
   }
@@ -194,14 +208,24 @@ int SnsSystem::HotUpgradeWorkers(const std::string& type, SimDuration pause) {
   return scheduled;
 }
 
-NodeId SnsSystem::PickUpNodePreferring(NodeId preferred) const {
-  if (preferred != kInvalidNode && cluster_.NodeUp(preferred)) {
+NodeId SnsSystem::PickUpNodePreferring(NodeId preferred, NodeId requester) const {
+  if (preferred != kInvalidNode && cluster_.NodeUp(preferred) &&
+      RequesterCanReach(requester, preferred)) {
     return preferred;
   }
   for (NodeId node : cluster_.UpNodes(/*include_overflow=*/true)) {
-    return node;
+    if (RequesterCanReach(requester, node)) {
+      return node;
+    }
   }
   return kInvalidNode;
+}
+
+bool SnsSystem::RequesterCanReach(NodeId requester, NodeId target) const {
+  if (requester == kInvalidNode) {
+    return true;  // No vantage point (bootstrap, tests): existence suffices.
+  }
+  return san_.NodeUp(target) && san_.Reachable(requester, target);
 }
 
 ManagerProcess* SnsSystem::manager() const {

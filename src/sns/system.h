@@ -97,8 +97,8 @@ class SnsSystem : public ComponentLauncher {
 
   // --- ComponentLauncher ----------------------------------------------------------
   ProcessId LaunchWorker(const std::string& type, NodeId node) override;
-  ProcessId RelaunchManager() override;
-  ProcessId RelaunchFrontEnd(int fe_index) override;
+  ProcessId RelaunchManager(NodeId requester = kInvalidNode) override;
+  ProcessId RelaunchFrontEnd(int fe_index, NodeId requester = kInvalidNode) override;
   ProcessId RelaunchProfileDb() override;
 
   // --- Operations -------------------------------------------------------------------
@@ -122,6 +122,8 @@ class SnsSystem : public ComponentLauncher {
 
   ManagerProcess* manager() const;
   ProcessId manager_pid() const { return manager_pid_; }
+  // Epoch of the most recently launched manager incarnation (1 = original).
+  uint64_t manager_epoch() const { return next_manager_epoch_; }
   FrontEndProcess* front_end(int fe_index) const;
   std::vector<FrontEndProcess*> front_ends() const;
   MonitorProcess* monitor() const;
@@ -144,7 +146,10 @@ class SnsSystem : public ComponentLauncher {
   int64_t TotalErrorResponses() const;
 
  private:
-  NodeId PickUpNodePreferring(NodeId preferred) const;
+  NodeId PickUpNodePreferring(NodeId preferred, NodeId requester) const;
+  // True when `requester` has no vantage point (kInvalidNode) or `target` is up and
+  // on the requester's side of any SAN partition.
+  bool RequesterCanReach(NodeId requester, NodeId target) const;
 
   SnsConfig config_;
   SystemTopology topology_;
@@ -167,6 +172,7 @@ class SnsSystem : public ComponentLauncher {
   std::vector<NodeId> overflow_pool_;
 
   ProcessId manager_pid_ = kInvalidProcess;
+  uint64_t next_manager_epoch_ = 0;  // Incremented per manager launch; first is 1.
   std::vector<ProcessId> fe_pids_;
   std::vector<ProcessId> cache_pids_;
   ProcessId profile_db_pid_ = kInvalidProcess;

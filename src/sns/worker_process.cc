@@ -48,12 +48,18 @@ void WorkerProcess::OnMessage(const Message& msg) {
 }
 
 void WorkerProcess::HandleBeacon(const ManagerBeaconPayload& beacon) {
+  if (config_.manager_epoch_fencing && beacon.epoch < manager_epoch_) {
+    return;  // Stale incarnation still beaconing after failover; ignore.
+  }
   if (beacon.manager != manager_) {
     // New manager incarnation (first sighting, or restart after a crash):
     // re-register. No other recovery is needed — all our state is re-derivable.
     manager_ = beacon.manager;
+    manager_epoch_ = beacon.epoch;
     RegisterWithManager();
+    return;
   }
+  manager_epoch_ = beacon.epoch;
 }
 
 void WorkerProcess::RegisterWithManager() {
@@ -62,6 +68,7 @@ void WorkerProcess::RegisterWithManager() {
   payload->worker_type = type_;
   payload->component = endpoint();
   payload->interchangeable = worker_->interchangeable();
+  payload->manager_epoch = manager_epoch_;
   Message msg;
   msg.dst = manager_;
   msg.type = kMsgRegisterComponent;
@@ -217,6 +224,7 @@ void WorkerProcess::ReportLoad() {
       config_.weight_queue_by_cost ? WeightedQueueLength() : QueueLength();
   payload->completed_tasks = completed_tasks();
   payload->interchangeable = worker_->interchangeable();
+  payload->manager_epoch = manager_epoch_;
   queue_gauge_->Set(payload->queue_length);
   Message msg;
   msg.dst = manager_;

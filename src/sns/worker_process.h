@@ -72,6 +72,7 @@ class WorkerProcess : public Process {
   };
 
   Endpoint manager_;
+  uint64_t manager_epoch_ = 0;  // Highest beacon epoch accepted (fencing).
   std::deque<QueuedTask> queue_;
   SimDuration queued_cost_ = 0;    // Sum over queue_ + the in-service task.
   bool busy_ = false;

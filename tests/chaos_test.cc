@@ -1,0 +1,214 @@
+// Chaos-campaign harness tests: seeded schedules hold the cluster-wide
+// invariants, replays are deterministic, a manager partition provably creates
+// split-brain that epoch fencing resolves, fencing off reproduces the pre-epoch
+// persistent split-brain, and the minimizer shrinks failing schedules to a
+// replayable minimal repro.
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/campaign.h"
+#include "src/chaos/invariants.h"
+#include "src/chaos/minimizer.h"
+#include "src/cluster/failure_injector.h"
+#include "src/services/transend/transend.h"
+#include "src/util/logging.h"
+
+namespace sns {
+namespace {
+
+CampaignConfig SmokeConfig() {
+  CampaignConfig config;
+  config.gen.horizon = Seconds(30);
+  config.gen.min_events = 2;
+  config.gen.max_events = 5;
+  config.gen.min_outage = Seconds(5);
+  config.gen.max_outage = Seconds(15);
+  config.warmup = Seconds(10);
+  config.quiesce_settle = Seconds(20);
+  return config;
+}
+
+FaultSchedule ManagerPartitionSchedule(uint64_t seed) {
+  FaultSchedule schedule;
+  schedule.seed = seed;
+  FaultEvent split;
+  split.at = Seconds(5);
+  split.kind = FaultKind::kPartitionManager;
+  split.duration = Seconds(15);
+  schedule.events.push_back(split);
+  return schedule;
+}
+
+TEST(ChaosScheduleTest, GenerationIsDeterministicAndSorted) {
+  ScheduleGenConfig gen;
+  FaultSchedule a = GenerateSchedule(0xFEED, gen);
+  FaultSchedule b = GenerateSchedule(0xFEED, gen);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].at, b.events[i].at);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].index, b.events[i].index);
+    EXPECT_EQ(a.events[i].duration, b.events[i].duration);
+    if (i > 0) {
+      EXPECT_LE(a.events[i - 1].at, a.events[i].at);
+    }
+  }
+  EXPECT_EQ(a.ToScript(), b.ToScript());
+  FaultSchedule c = GenerateSchedule(0xBEEF, gen);
+  EXPECT_NE(a.ToScript(), c.ToScript());
+}
+
+// The acceptance campaign: 20 seeded schedules, every invariant holds.
+TEST(ChaosCampaignTest, TwentySeededSchedulesHoldAllInvariants) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  CampaignResult result = RunCampaign(0xC4A05, 20, SmokeConfig());
+  std::string failures;
+  for (const ChaosRunResult& run : result.runs) {
+    if (!run.passed()) {
+      failures += run.Describe() + run.trace;
+    }
+  }
+  EXPECT_EQ(result.failed, 0) << result.Summary() << failures;
+  int64_t total_faults = 0;
+  for (const ChaosRunResult& run : result.runs) {
+    total_faults += run.faults_injected;
+  }
+  EXPECT_GT(total_faults, 20) << "campaign barely injected anything";
+}
+
+TEST(ChaosCampaignTest, ReplayIsDeterministic) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  FaultSchedule schedule = GenerateSchedule(0xD0D0, SmokeConfig().gen);
+  ChaosRunResult first = RunSchedule(schedule, SmokeConfig());
+  ChaosRunResult second = RunSchedule(schedule, SmokeConfig());
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.sent, second.sent);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.timeouts, second.timeouts);
+  EXPECT_EQ(first.final_manager_epoch, second.final_manager_epoch);
+  EXPECT_EQ(first.max_concurrent_managers, second.max_concurrent_managers);
+}
+
+// The tentpole scenario: partitioning the manager's node forces the majority side
+// to fail over while the stranded incumbent is still alive — two concurrent
+// incarnations — and epoch fencing demotes the loser within a beacon period of
+// the heal, so every invariant holds at quiesce.
+TEST(ChaosCampaignTest, ManagerPartitionCreatesAndResolvesSplitBrain) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  ChaosRunResult run = RunSchedule(ManagerPartitionSchedule(0x5B17), SmokeConfig());
+  EXPECT_TRUE(run.passed()) << run.Describe() << run.trace;
+  EXPECT_GE(run.max_concurrent_managers, 2) << run.trace;
+  EXPECT_GE(run.final_manager_epoch, 2u);
+  EXPECT_GE(run.manager_demotions, 1);
+}
+
+// Pre-fix behavior: with fencing off, failover still happens (reachability-aware
+// relaunch is unconditional), but after the heal both incarnations beacon forever
+// — the exactly-one-manager invariant fails at quiesce.
+TEST(ChaosCampaignTest, FencingOffReproducesPersistentSplitBrain) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  CampaignConfig config = SmokeConfig();
+  config.epoch_fencing = false;
+  ChaosRunResult run = RunSchedule(ManagerPartitionSchedule(0x5B17), config);
+  EXPECT_FALSE(run.passed()) << run.Describe() << run.trace;
+  EXPECT_GE(run.max_concurrent_managers, 2);
+  bool split_brain = false;
+  for (const InvariantViolation& v : run.report.violations) {
+    if (v.invariant == "exactly-one-manager") {
+      split_brain = true;
+    }
+  }
+  EXPECT_TRUE(split_brain) << run.report.ToString();
+}
+
+TEST(ChaosMinimizerTest, ShrinksFailingScheduleToMinimalRepro) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  CampaignConfig config = SmokeConfig();
+  config.epoch_fencing = false;  // Guarantees the partition event alone fails.
+  FaultSchedule schedule = ManagerPartitionSchedule(0x31);
+  // Pad with noise the system masks on its own; the minimizer should strip it.
+  FaultEvent crash;
+  crash.at = Seconds(2);
+  crash.kind = FaultKind::kCrashWorker;
+  schedule.events.insert(schedule.events.begin(), crash);
+  FaultEvent loss;
+  loss.at = Seconds(12);
+  loss.kind = FaultKind::kBeaconLoss;
+  loss.duration = Seconds(2);
+  schedule.events.push_back(loss);
+  FaultEvent late_crash;
+  late_crash.at = Seconds(20);
+  late_crash.kind = FaultKind::kCrashWorker;
+  late_crash.index = 3;
+  schedule.events.push_back(late_crash);
+
+  MinimizeResult result = MinimizeSchedule(schedule, config, /*max_runs=*/24);
+  EXPECT_TRUE(result.still_fails);
+  ASSERT_EQ(result.minimal.events.size(), 1u) << result.Repro();
+  EXPECT_EQ(result.minimal.events[0].kind, FaultKind::kPartitionManager);
+  EXPECT_FALSE(result.failure.ok());
+  EXPECT_NE(result.Repro().find("partition_manager"), std::string::npos);
+  EXPECT_GT(result.runs_used, 1);
+}
+
+TEST(ChaosMinimizerTest, PassingScheduleIsReportedAsNotFailing) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  FaultSchedule schedule;
+  schedule.seed = 0x9;
+  FaultEvent crash;
+  crash.at = Seconds(3);
+  crash.kind = FaultKind::kCrashWorker;
+  schedule.events.push_back(crash);
+  MinimizeResult result = MinimizeSchedule(schedule, SmokeConfig(), /*max_runs=*/4);
+  EXPECT_FALSE(result.still_fails);
+  EXPECT_EQ(result.runs_used, 1);
+}
+
+// System-level regression for the relaunch fix: the majority side must fail over
+// WHILE the minority-side incumbent is still alive (pre-fix, the launcher's
+// Find()-based idempotence check blocked failover for the whole outage), and the
+// pair must converge to exactly the higher epoch after the heal.
+TEST(PartitionToleranceTest, MajorityFailsOverWhileMinorityManagerAlive) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendOptions options = DefaultTranSendOptions();
+  options.topology.worker_pool_nodes = 4;
+  TranSendService service(options);
+  service.Start();
+  service.sim()->RunFor(Seconds(3));
+
+  SnsSystem* system = service.system();
+  ManagerProcess* incumbent = system->manager();
+  ASSERT_NE(incumbent, nullptr);
+  EXPECT_EQ(incumbent->epoch(), 1u);
+  NodeId manager_node = incumbent->node();
+
+  FailureInjector injector(system->cluster(), system->san());
+  SimTime now = service.sim()->now();
+  injector.PartitionAt(now + Seconds(1), {manager_node}, now + Seconds(20));
+
+  // Mid-partition: the majority's front ends detected beacon silence and failed
+  // over even though the incumbent still runs across the split.
+  service.sim()->RunFor(Seconds(12));
+  std::vector<ManagerProcess*> during = LiveManagers(system);
+  ASSERT_EQ(during.size(), 2u) << "failover blocked by unreachable incumbent";
+  EXPECT_EQ(system->manager_epoch(), 2u);
+  bool incumbent_alive = false;
+  for (ManagerProcess* m : during) {
+    if (m->epoch() == 1) {
+      incumbent_alive = true;
+      EXPECT_EQ(m->node(), manager_node);
+    }
+  }
+  EXPECT_TRUE(incumbent_alive);
+
+  // Post-heal: the stale incarnation hears the higher epoch and demotes; exactly
+  // one manager remains within a few beacon periods.
+  service.sim()->RunFor(Seconds(15));
+  std::vector<ManagerProcess*> after = LiveManagers(system);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0]->epoch(), 2u);
+  EXPECT_GE(system->metrics()->GetCounter("manager.demotions")->value(), 1);
+}
+
+}  // namespace
+}  // namespace sns

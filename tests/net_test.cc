@@ -281,6 +281,91 @@ TEST_F(SanTest, MulticastDropsPerSubscriberUnderReceiverSaturation) {
   EXPECT_GT(san_.datagrams_dropped(), 0);
 }
 
+TEST_F(SanTest, MultiGroupPartitionsAreMutuallyUnreachable) {
+  san_.SetPartition(1, 1);
+  san_.SetPartition(2, 2);
+  EXPECT_EQ(san_.PartitionGroupOf(0), 0);
+  EXPECT_EQ(san_.PartitionGroupOf(1), 1);
+  EXPECT_EQ(san_.PartitionGroupOf(2), 2);
+  // Three groups, all pairwise unreachable.
+  EXPECT_FALSE(san_.Reachable(0, 1));
+  EXPECT_FALSE(san_.Reachable(0, 2));
+  EXPECT_FALSE(san_.Reachable(1, 2));
+  EXPECT_TRUE(san_.Reachable(1, 1));
+}
+
+TEST_F(SanTest, HealPartitionRestoresOneGroupAtATime) {
+  std::vector<int> via1;
+  std::vector<int> via2;
+  Bind({1, 10}, &via1);
+  Bind({2, 20}, &via2);
+  san_.SetPartition(1, 1);
+  san_.SetPartition(2, 2);
+
+  san_.HealPartition(2);
+  EXPECT_EQ(san_.PartitionGroupOf(2), 0);
+  EXPECT_TRUE(san_.Reachable(0, 2));
+  EXPECT_FALSE(san_.Reachable(0, 1));
+  san_.Send(MakeMessage({0, 1}, {1, 10}, 1, 100));
+  san_.Send(MakeMessage({0, 1}, {2, 20}, 2, 100));
+  sim_.Run();
+  EXPECT_TRUE(via1.empty());  // Group 1 is still split.
+  ASSERT_EQ(via2.size(), 1u);
+
+  san_.HealPartition(1);
+  EXPECT_TRUE(san_.Reachable(0, 1));
+  san_.Send(MakeMessage({0, 1}, {1, 10}, 3, 100));
+  sim_.Run();
+  ASSERT_EQ(via1.size(), 1u);
+  EXPECT_EQ(via1[0], 3);
+}
+
+TEST_F(SanTest, MessageInFlightAtSplitIsLost) {
+  std::vector<int> received;
+  Endpoint dst{1, 10};
+  Bind(dst, &received);
+  // 125000 bytes serializes for >20 ms; the partition lands at 1 ms, mid-flight.
+  san_.Send(MakeMessage({0, 1}, dst, 1, 125000));
+  sim_.ScheduleAt(Milliseconds(1.0), [this] { san_.SetPartition(1, 1); });
+  sim_.Run();
+  EXPECT_TRUE(received.empty());
+  EXPECT_GE(san_.messages_lost_unreachable(), 1);
+
+  // After the heal, fresh traffic flows again; the lost message stays lost.
+  san_.HealPartition(1);
+  san_.Send(MakeMessage({0, 1}, dst, 2, 100));
+  sim_.Run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], 2);
+}
+
+TEST_F(SanTest, DropMulticastUntilSuppressesBeaconsThenResumes) {
+  std::vector<int> a;
+  Bind({1, 10}, &a);
+  san_.JoinGroup(7, {1, 10});
+  san_.DropMulticastUntil(7, Milliseconds(50.0));
+
+  san_.SendMulticast(7, MakeMessage({0, 1}, {}, 1, 200, Transport::kDatagram));
+  sim_.Run();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(san_.multicast_suppressed(), 1);
+
+  // Other groups are unaffected during the window.
+  std::vector<int> other;
+  Bind({2, 20}, &other);
+  san_.JoinGroup(8, {2, 20});
+  san_.SendMulticast(8, MakeMessage({0, 1}, {}, 2, 200, Transport::kDatagram));
+  sim_.Run();
+  EXPECT_EQ(other.size(), 1u);
+
+  sim_.RunFor(Milliseconds(60.0));
+  san_.SendMulticast(7, MakeMessage({0, 1}, {}, 3, 200, Transport::kDatagram));
+  sim_.Run();
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], 3);
+  EXPECT_EQ(san_.multicast_suppressed(), 1);
+}
+
 TEST(LinkTest, ServiceTimeFollowsBandwidth) {
   LinkConfig config;
   config.bandwidth_bps = 10e6;

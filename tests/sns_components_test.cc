@@ -402,6 +402,67 @@ TEST(ManagerTest, ReregistrationPreservesAffinityClass) {
   EXPECT_FALSE(hint->interchangeable);
 }
 
+// Records relaunch requests without actually starting anything, so the beacon
+// silence persists and the throttle (not a fresh manager) is what limits calls.
+class CountingLauncher : public ComponentLauncher {
+ public:
+  ProcessId LaunchWorker(const std::string&, NodeId) override { return kInvalidProcess; }
+  ProcessId RelaunchManager(NodeId) override {
+    ++manager_relaunches;
+    return kInvalidProcess;
+  }
+  ProcessId RelaunchFrontEnd(int, NodeId) override { return kInvalidProcess; }
+  ProcessId RelaunchProfileDb() override { return kInvalidProcess; }
+
+  int manager_relaunches = 0;
+};
+
+// Sends one hand-built manager beacon at startup, then goes silent forever.
+class ForgedBeaconSender : public Process {
+ public:
+  ForgedBeaconSender() : Process("forged-beacon") {}
+  void OnStart() override {
+    auto payload = std::make_shared<ManagerBeaconPayload>();
+    payload->manager = Endpoint{node(), 1};
+    Message msg;
+    msg.type = kMsgManagerBeacon;
+    msg.transport = Transport::kDatagram;
+    msg.size_bytes = WireSizeOf(*payload);
+    msg.payload = payload;
+    SendMulticast(kGroupManagerBeacon, std::move(msg));
+  }
+};
+
+TEST(MonitorTest, SweepRestartsManagerOncePerSilenceWindow) {
+  // The sweep runs every monitor_report_period (1 s), but a persistent silence
+  // must trigger one relaunch attempt per silence window (manager_silence_restart
+  // + report period = 5 s), not one per sweep — otherwise a dead launcher target
+  // gets hammered every second.
+  Logger::Get().set_min_level(LogLevel::kNone);
+  Simulator sim;
+  San san(&sim, SanConfig{});
+  Cluster cluster(&sim, &san);
+  NodeId node = cluster.AddNode();
+  SnsConfig config;
+  CountingLauncher launcher;
+  auto owner = std::make_unique<MonitorProcess>(config, &launcher);
+  MonitorProcess* monitor = owner.get();
+  cluster.Spawn(node, std::move(owner));
+  cluster.Spawn(node, std::make_unique<ForgedBeaconSender>());
+
+  // Beacon lands just after t=0; the silence threshold is crossed at ~5 s and the
+  // next 1 s sweep fires the first (and only) relaunch of that window.
+  sim.RunFor(Seconds(7));
+  EXPECT_EQ(launcher.manager_relaunches, 1);
+  EXPECT_GE(monitor->beacons_observed(), 1);
+
+  sim.RunFor(Seconds(3));  // t=10: well within the second window — still one.
+  EXPECT_EQ(launcher.manager_relaunches, 1);
+
+  sim.RunFor(Seconds(3));  // t=13: second window elapsed — exactly one more.
+  EXPECT_EQ(launcher.manager_relaunches, 2);
+}
+
 TEST(MonitorTest, AlarmHandlerInvoked) {
   Logger::Get().set_min_level(LogLevel::kNone);
   TranSendService service(TinyOptions());
