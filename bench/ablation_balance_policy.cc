@@ -78,6 +78,7 @@ PolicyResult RunPolicy(BalancePolicy policy) {
     }
   }
   client->StopLoad();
+  benchutil::DumpBenchArtifact(service.system(), "ablation_balance_policy");
 
   PolicyResult result;
   result.mean_latency = client->latency_stats().mean();

@@ -78,6 +78,7 @@ void Run() {
   }
   service.sim()->RunFor(Seconds(20));
   client->StopLoad();
+  benchutil::DumpBenchArtifact(service.system(), "ablation_base_vs_acid");
 
   int64_t completed_during = client->completed() - completed_before;
   int64_t errors_during = client->errors() - errors_before;

@@ -52,6 +52,7 @@ double MeasureFeCapacity(double per_message_ms) {
     }
   }
   client->StopLoad();
+  benchutil::DumpBenchArtifact(service.system(), "ablation_fast_sockets");
   return sustainable;
 }
 

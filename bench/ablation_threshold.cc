@@ -47,6 +47,7 @@ ThresholdResult RunThreshold(int64_t threshold_bytes) {
   service.sim()->RunFor(Seconds(180));
   client->StopLoad();
   service.sim()->RunFor(Seconds(5));
+  benchutil::DumpBenchArtifact(service.system(), "ablation_threshold");
 
   ThresholdResult result;
   result.completed = client->completed();

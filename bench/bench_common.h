@@ -13,7 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/critical_path.h"
+#include "src/obs/perfetto.h"
 #include "src/services/transend/transend.h"
+#include "src/util/strings.h"
 #include "src/workload/trace.h"
 
 namespace sns {
@@ -41,24 +44,82 @@ inline ContentUniverseConfig FixedJpegUniverse(int64_t urls) {
   return config;
 }
 
-// Writes the run's machine-readable observability artifact: the monitor's JSON
-// snapshot (every registry metric, the per-component soft-state view, alarms)
-// plus all collected request traces, as one JSON object. Returns false if the
-// file could not be opened.
-inline bool DumpRunArtifact(SnsSystem* system, const std::string& path) {
+// Writes the run's machine-readable observability artifact (the uniform
+// BENCH_<name>.json schema every bench binary emits):
+//   {"meta":{"schema_version":1,"bench":..,"time_ns":..},
+//    "snapshot":..,      monitor JSON (every registry metric, components, alarms)
+//    "timeseries":..,    columnar ring-buffer samples from the flight recorder
+//    "critical_path":... per-stage latency decomposition over retained traces
+//    "traces":...}       raw span trees
+// Returns false if the file could not be opened.
+inline bool DumpRunArtifact(SnsSystem* system, const std::string& path,
+                            const std::string& bench_name) {
   MonitorProcess* monitor = system->monitor();
   // Without a monitor (with_monitor=false topologies) fall back to the bare
   // registry so the artifact still carries the metrics.
   std::string snapshot = monitor != nullptr ? monitor->ExportJson()
                                             : system->metrics()->RenderJson();
+  std::string timeseries =
+      system->recorder() != nullptr ? system->recorder()->ToJson() : "{}";
+  CriticalPathSummary paths = CriticalPathSummary::FromCollector(*system->tracer());
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return false;
   }
-  std::fprintf(f, "{\"snapshot\":%s,\"traces\":%s}\n", snapshot.c_str(),
+  std::fprintf(f,
+               "{\"meta\":{\"schema_version\":1,\"bench\":\"%s\",\"time_ns\":%lld},"
+               "\"snapshot\":%s,\"timeseries\":%s,\"critical_path\":%s,\"traces\":%s}\n",
+               JsonEscape(bench_name).c_str(),
+               static_cast<long long>(system->sim()->now()), snapshot.c_str(),
+               timeseries.c_str(), paths.ToJson().c_str(),
                system->tracer()->ToJson().c_str());
   std::fclose(f);
   return true;
+}
+
+// Emits the run artifact under the uniform name "BENCH_<name>.json" in the
+// current directory, and a Chrome-trace timeline ("BENCH_<name>.trace.json",
+// openable in ui.perfetto.dev) alongside it.
+inline bool DumpBenchArtifact(SnsSystem* system, const std::string& bench_name) {
+  bool ok = DumpRunArtifact(system, "BENCH_" + bench_name + ".json", bench_name);
+  std::string trace = ExportChromeTrace(*system->tracer(), system->event_log());
+  std::FILE* f = std::fopen(("BENCH_" + bench_name + ".trace.json").c_str(), "w");
+  if (f != nullptr) {
+    std::fputs(trace.c_str(), f);
+    std::fclose(f);
+  } else {
+    ok = false;
+  }
+  if (ok) {
+    std::printf("\nartifacts: BENCH_%s.json, BENCH_%s.trace.json\n", bench_name.c_str(),
+                bench_name.c_str());
+  }
+  return ok;
+}
+
+// Acceptance check for the critical-path decomposition: for every retained
+// completed request, the per-stage sums must equal the end-to-end latency within
+// `tolerance` (default 1%). Returns the number of requests checked, or -1 on any
+// violation (after printing it).
+inline int64_t CheckStageSums(SnsSystem* system, double tolerance = 0.01) {
+  int64_t checked = 0;
+  for (uint64_t trace_id : system->tracer()->TraceIds()) {
+    auto path = AnalyzeTrace(system->tracer()->Trace(trace_id));
+    if (!path.has_value() || path->total <= 0) {
+      continue;
+    }
+    SimDuration diff = path->StageSum() - path->total;
+    if (diff < 0) diff = -diff;
+    if (static_cast<double>(diff) > tolerance * static_cast<double>(path->total)) {
+      std::printf("STAGE SUM MISMATCH trace=%llu total=%lld sum=%lld\n",
+                  static_cast<unsigned long long>(trace_id),
+                  static_cast<long long>(path->total),
+                  static_cast<long long>(path->StageSum()));
+      return -1;
+    }
+    ++checked;
+  }
+  return checked;
 }
 
 // Issues every universe URL once and waits for fetches to land in the cache,

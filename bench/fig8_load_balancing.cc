@@ -137,6 +137,7 @@ AblationResult RunSteadyState(bool delta_estimation) {
     prev = queues;
   }
   client->StopLoad();
+  benchutil::DumpBenchArtifact(service.system(), "fig8_load_balancing");
 
   AblationResult result;
   result.avg_imbalance = imbalance.mean();

@@ -104,11 +104,7 @@ void Run() {
               static_cast<long long>(cache_hits + cache_misses),
               static_cast<double>(cache_bytes) / 1e6);
 
-  const char* artifact = "replay_production_obs.json";
-  if (benchutil::DumpRunArtifact(service.system(), artifact)) {
-    std::printf("  observability artifact (metrics snapshot + %zu traces): %s\n",
-                service.system()->tracer()->trace_count(), artifact);
-  }
+  benchutil::DumpBenchArtifact(service.system(), "replay_production");
 }
 
 }  // namespace

@@ -243,6 +243,7 @@ void MeasureFrontEndState() {
   }
   client->StopLoad();
   service.sim()->RunFor(Seconds(110));
+  benchutil::DumpBenchArtifact(service.system(), "sec44_cache_partition");
 
   double mean_t = client->latency_stats().mean();
   std::printf("  offered N = %.0f req/s, mean service time T = %.2f s (miss dominated)\n",

@@ -61,6 +61,7 @@ void Run() {
               pool_before, baseline, kRate);
 
   FailureInjector injector(system->cluster(), system->san());
+  system->AttachFailureInjector(&injector);  // Faults land on the trace timeline.
   SimTime kill_at = sim->now();
   for (size_t i = 0; i < kills; ++i) {
     injector.CrashProcessAt(kill_at, distillers[i]->pid());
@@ -116,11 +117,7 @@ void Run() {
   // Let the tail of the run settle, then dump the observability artifact.
   client->StopLoad();
   sim->RunFor(Seconds(15));
-  const char* artifact = "sec45_fault_recovery_obs.json";
-  if (benchutil::DumpRunArtifact(system, artifact)) {
-    std::printf("\n  observability artifact (metrics snapshot + %zu traces): %s\n",
-                system->tracer()->trace_count(), artifact);
-  }
+  benchutil::DumpBenchArtifact(system, "sec45_fault_recovery");
 }
 
 }  // namespace

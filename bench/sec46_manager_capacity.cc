@@ -71,6 +71,7 @@ void Run() {
                 "  saturates.\n",
                 per_second / cpu);
   }
+  benchutil::DumpBenchArtifact(service.system(), "sec46_manager_capacity");
 }
 
 }  // namespace

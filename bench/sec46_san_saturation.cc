@@ -80,6 +80,7 @@ SanResult RunOn(double bandwidth_bps, double rate) {
     }
   }
   client->StopLoad();
+  benchutil::DumpBenchArtifact(service.system(), "sec46_san_saturation");
 
   SanResult result;
   result.offered = rate;

@@ -65,6 +65,7 @@ void Run() {
     }
   }
   client->StopLoad();
+  benchutil::DumpBenchArtifact(service.system(), "sec52_economics");
 
   // Trace-derived facts (paper §4.1/§4.6): the 600-modem pool peaked at ~20 req/s.
   constexpr double kModems = 600;

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "src/sns/worker_process.h"
@@ -24,10 +25,15 @@
 namespace sns {
 namespace {
 
-void Run() {
+// `short_mode` (--short): a coarse sweep with brief steps, for CI smoke runs that
+// only validate the harness and the emitted artifact, not the Table 2 band edges.
+int Run(bool short_mode) {
   Logger::Get().set_min_level(LogLevel::kError);
   benchutil::Header("Table 2: scalability sweep (offered load vs resources)",
                     "paper Table 2 / Section 4.6");
+  const double kRateStep = short_mode ? 8 : 4;
+  const double kRateMax = short_mode ? 48 : 160;
+  const SimDuration kStep = short_mode ? Seconds(10) : Seconds(30);
 
   TranSendOptions options = DefaultTranSendOptions();
   options.universe = benchutil::FixedJpegUniverse(40);
@@ -64,10 +70,10 @@ void Run() {
   int distillers_at_max = 1;
 
   client->StartConstantRate(4, next_request);
-  for (double rate = 4; rate <= 160; rate += 4) {
+  for (double rate = kRateStep; rate <= kRateMax; rate += kRateStep) {
     client->SetRate(rate);
-    service.sim()->RunFor(Seconds(30));
-    double achieved = client->RecentThroughput(Seconds(20));
+    service.sim()->RunFor(kStep);
+    double achieved = client->RecentThroughput(kStep * 2 / 3);
     int distillers = static_cast<int>(service.system()->live_workers(kJpegDistillerType).size());
     int fes = static_cast<int>(service.system()->front_ends().size());
     double ratio = achieved / rate;
@@ -127,12 +133,23 @@ void Run() {
   std::printf("\nPaper Table 2: distillers saturate at 24/47/72 req/s (1->2->3->4 distillers);\n"
               "FE Ethernet saturates at ~73-87 req/s (1->2 FEs) and again near 113-135;\n"
               "growth is near-linear to 159 req/s.\n");
+
+  int64_t checked = benchutil::CheckStageSums(service.system());
+  std::printf("critical-path stage sums exact for %lld retained request(s)\n",
+              static_cast<long long>(checked));
+  bool dumped = benchutil::DumpBenchArtifact(service.system(), "table2_scalability");
+  return (checked > 0 && dumped) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace sns
 
-int main() {
-  sns::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      short_mode = true;
+    }
+  }
+  return sns::Run(short_mode);
 }

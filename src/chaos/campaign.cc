@@ -167,6 +167,7 @@ ChaosRunResult RunSchedule(const FaultSchedule& schedule, const CampaignConfig& 
   sim->RunFor(config.warmup);
 
   FailureInjector injector(system->cluster(), system->san());
+  system->AttachFailureInjector(&injector);
   SimTime fault_start = sim->now();
   for (const FaultEvent& ev : schedule.events) {
     sim->ScheduleAt(fault_start + ev.at,

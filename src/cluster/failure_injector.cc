@@ -10,6 +10,9 @@ namespace sns {
 void FailureInjector::LogEvent(const std::string& what) {
   events_.push_back(StrFormat("t=%s %s", FormatTime(cluster_->sim()->now()).c_str(),
                               what.c_str()));
+  if (event_sink_) {
+    event_sink_(cluster_->sim()->now(), what);
+  }
 }
 
 void FailureInjector::CrashProcessAt(SimTime when, ProcessId pid) {

@@ -67,6 +67,12 @@ class FailureInjector {
   // injection order); deterministic for a given seed, so chaos traces can diff it.
   const std::vector<std::string>& event_log() const { return events_; }
 
+  // Also forwards every applied fault to `sink` (sim time + description) — the
+  // flight recorder hangs fault instants on the Perfetto timeline through this.
+  void set_event_sink(std::function<void(SimTime, const std::string&)> sink) {
+    event_sink_ = std::move(sink);
+  }
+
  private:
   void ScheduleNextRandomCrash(Rng* rng, SimDuration mean_interval, SimTime until,
                                std::function<ProcessId()> victim_picker);
@@ -79,6 +85,7 @@ class FailureInjector {
   int64_t injected_ = 0;
   int32_t next_group_ = 1;  // Partition groups allocated per PartitionAt call.
   std::vector<std::string> events_;
+  std::function<void(SimTime, const std::string&)> event_sink_;
 };
 
 }  // namespace sns

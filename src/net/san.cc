@@ -9,6 +9,39 @@ namespace sns {
 
 San::San(Simulator* sim, SanConfig config) : sim_(sim), config_(config) {}
 
+void San::BindMetrics(MetricsRegistry* registry) {
+  ctr_delivered_ = registry->GetCounter("san.messages_delivered");
+  ctr_datagrams_dropped_ = registry->GetCounter("san.datagrams_dropped");
+  ctr_failed_fast_ = registry->GetCounter("san.reliable_failed_fast");
+  ctr_lost_unreachable_ = registry->GetCounter("san.messages_lost_unreachable");
+  ctr_multicast_suppressed_ = registry->GetCounter("san.multicast_suppressed");
+  // Binding mid-run re-baselines the registry view from the cumulative members.
+  ctr_delivered_->Increment(messages_delivered_ - ctr_delivered_->value());
+  ctr_datagrams_dropped_->Increment(datagrams_dropped_ - ctr_datagrams_dropped_->value());
+  ctr_failed_fast_->Increment(reliable_failed_fast_ - ctr_failed_fast_->value());
+  ctr_lost_unreachable_->Increment(messages_lost_unreachable_ - ctr_lost_unreachable_->value());
+  ctr_multicast_suppressed_->Increment(multicast_suppressed_ -
+                                       ctr_multicast_suppressed_->value());
+}
+
+void San::LogEvent(SanEvent::Kind kind, const Message& msg, uint64_t seq, const char* detail) {
+  if (event_log_ == nullptr || seq == 0) {
+    return;
+  }
+  SanEvent ev;
+  ev.kind = kind;
+  ev.seq = seq;
+  ev.at = sim_->now();
+  ev.src_node = msg.src.node;
+  ev.dst_node = msg.dst.node;
+  ev.msg_type = msg.type;
+  ev.size_bytes = msg.size_bytes;
+  ev.trace_id = msg.trace.trace_id;
+  ev.span_id = msg.trace.span_id;
+  ev.detail = detail;
+  event_log_->RecordMessage(std::move(ev));
+}
+
 void San::AddNode(NodeId node) { AddNode(node, config_.default_link); }
 
 void San::AddNode(NodeId node, const LinkConfig& link) {
@@ -72,9 +105,12 @@ bool San::IsBound(const Endpoint& ep) const { return handlers_.count(ep) > 0; }
 
 void San::Send(Message msg, SendOptions opts) {
   msg.sent_at = sim_->now();
+  uint64_t seq = (event_log_ != nullptr && msg.trace.valid()) ? event_log_->NextSeq() : 0;
+  LogEvent(SanEvent::Kind::kSend, msg, seq, "");
   NodeState* src_node = GetNode(msg.src.node);
   if (src_node == nullptr || !src_node->up) {
-    ++messages_lost_unreachable_;
+    CountLost();
+    LogEvent(SanEvent::Kind::kDrop, msg, seq, "unreachable");
     return;
   }
   bool reliable = msg.transport == Transport::kReliable;
@@ -95,21 +131,24 @@ void San::Send(Message msg, SendOptions opts) {
   auto departure =
       src_node->egress->Transmit(sim_->now(), msg.size_bytes, /*drop_if_saturated=*/!reliable);
   if (!departure.has_value()) {
-    ++datagrams_dropped_;
+    CountDropped();
+    LogEvent(SanEvent::Kind::kDrop, msg, seq, "saturated");
     return;
   }
   SimTime arrival = *departure + src_node->egress->propagation();
-  DeliverToNode(std::move(msg), arrival, setup, std::move(opts));
+  DeliverToNode(std::move(msg), arrival, setup, std::move(opts), seq);
 }
 
-void San::DeliverToNode(Message msg, SimTime arrival, bool setup, SendOptions opts) {
-  sim_->ScheduleAt(arrival, [this, msg = std::move(msg), setup, opts = std::move(opts)] {
+void San::DeliverToNode(Message msg, SimTime arrival, bool setup, SendOptions opts,
+                        uint64_t seq) {
+  sim_->ScheduleAt(arrival, [this, msg = std::move(msg), setup, opts = std::move(opts), seq] {
     NodeState* src_node = GetNode(msg.src.node);
     NodeState* dst_node = GetNode(msg.dst.node);
     bool reliable = msg.transport == Transport::kReliable;
     if (src_node == nullptr || dst_node == nullptr || !src_node->up || !dst_node->up ||
         !Reachable(msg.src.node, msg.dst.node)) {
-      ++messages_lost_unreachable_;
+      CountLost();
+      LogEvent(SanEvent::Kind::kDrop, msg, seq, "unreachable");
       return;
     }
     if (setup) {
@@ -118,36 +157,43 @@ void San::DeliverToNode(Message msg, SimTime arrival, bool setup, SendOptions op
     auto finish = dst_node->ingress->Transmit(sim_->now(), msg.size_bytes,
                                               /*drop_if_saturated=*/!reliable);
     if (!finish.has_value()) {
-      ++datagrams_dropped_;
+      CountDropped();
+      LogEvent(SanEvent::Kind::kDrop, msg, seq, "saturated");
       return;
     }
     SimTime deliver_at = *finish + dst_node->ingress->propagation();
     if (setup) {
       deliver_at += config_.tcp_setup_cost;
     }
-    sim_->ScheduleAt(deliver_at, [this, msg, opts] { FinalDeliver(msg, opts); });
+    sim_->ScheduleAt(deliver_at, [this, msg, opts, seq] { FinalDeliver(msg, opts, seq); });
   });
 }
 
-void San::FinalDeliver(const Message& msg, const SendOptions& opts) {
+void San::FinalDeliver(const Message& msg, const SendOptions& opts, uint64_t seq) {
   const NodeState* dst_node = GetNode(msg.dst.node);
   if (dst_node == nullptr || !dst_node->up || !Reachable(msg.src.node, msg.dst.node)) {
-    ++messages_lost_unreachable_;
+    CountLost();
+    LogEvent(SanEvent::Kind::kDrop, msg, seq, "unreachable");
     return;
   }
   auto it = handlers_.find(msg.dst);
   if (it == handlers_.end()) {
     if (msg.transport == Transport::kReliable) {
       ++reliable_failed_fast_;
+      if (ctr_failed_fast_ != nullptr) ctr_failed_fast_->Increment();
+      LogEvent(SanEvent::Kind::kDrop, msg, seq, "no_handler");
       if (opts.on_failed) {
         opts.on_failed(msg);
       }
     } else {
-      ++messages_lost_unreachable_;
+      CountLost();
+      LogEvent(SanEvent::Kind::kDrop, msg, seq, "no_handler");
     }
     return;
   }
   ++messages_delivered_;
+  if (ctr_delivered_ != nullptr) ctr_delivered_->Increment();
+  LogEvent(SanEvent::Kind::kDeliver, msg, seq, "");
   // Copy the handler: the callee may unbind (e.g., crash) during handling.
   MessageHandler handler = it->second;
   handler(msg);
@@ -174,6 +220,7 @@ void San::SendMulticast(McastGroup group, Message msg) {
   if (drop != mcast_drop_until_.end()) {
     if (sim_->now() < drop->second) {
       ++multicast_suppressed_;
+      if (ctr_multicast_suppressed_ != nullptr) ctr_multicast_suppressed_->Increment();
       return;
     }
     mcast_drop_until_.erase(drop);  // Window elapsed.
@@ -183,7 +230,7 @@ void San::SendMulticast(McastGroup group, Message msg) {
   msg.group = group;
   NodeState* src_node = GetNode(msg.src.node);
   if (src_node == nullptr || !src_node->up) {
-    ++messages_lost_unreachable_;
+    CountLost();
     return;
   }
   auto it = groups_.find(group);
@@ -193,7 +240,7 @@ void San::SendMulticast(McastGroup group, Message msg) {
   // One egress transmission; the switch replicates to each subscriber.
   auto departure = src_node->egress->Transmit(sim_->now(), msg.size_bytes, true);
   if (!departure.has_value()) {
-    ++datagrams_dropped_;
+    CountDropped();
     return;
   }
   SimTime arrival = *departure + src_node->egress->propagation();
@@ -203,7 +250,10 @@ void San::SendMulticast(McastGroup group, Message msg) {
     }
     Message copy = msg;
     copy.dst = Endpoint{node, port};
-    DeliverToNode(std::move(copy), arrival, /*setup=*/false, SendOptions{});
+    // Each replica gets its own lifecycle on the timeline.
+    uint64_t seq = (event_log_ != nullptr && copy.trace.valid()) ? event_log_->NextSeq() : 0;
+    LogEvent(SanEvent::Kind::kSend, copy, seq, "");
+    DeliverToNode(std::move(copy), arrival, /*setup=*/false, SendOptions{}, seq);
   }
 }
 

@@ -70,6 +70,27 @@ class MetricsRegistry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
+  // Visit every instrument in sorted name order (the time-series recorder samples
+  // the whole registry each tick through these).
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    for (const auto& [name, counter] : counters_) {
+      fn(name, *counter);
+    }
+  }
+  template <typename Fn>
+  void ForEachGauge(Fn&& fn) const {
+    for (const auto& [name, gauge] : gauges_) {
+      fn(name, *gauge);
+    }
+  }
+  template <typename Fn>
+  void ForEachHistogram(Fn&& fn) const {
+    for (const auto& [name, histogram] : histograms_) {
+      fn(name, *histogram);
+    }
+  }
+
   // One "name value" line per instrument, sorted by name (histograms render
   // count/mean/p50/p95/p99). Meant for logs and the monitor's text page.
   std::string RenderText() const;

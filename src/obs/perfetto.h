@@ -1,0 +1,30 @@
+// Chrome-trace ("Trace Event Format") JSON export, openable in ui.perfetto.dev
+// (or chrome://tracing), joining three event sources on one timeline:
+//   - TraceCollector spans as complete ("X") slices, one track per
+//     (node, component) pair — pid = cluster node, tid = component lane;
+//   - SAN message send/deliver pairs as flow arrows ("s"/"f") between tiny
+//     marker slices on each node's "san" lane, so a request's causality is a
+//     connected chain across processes; drops render as terminal slices;
+//   - injected faults as global instant events ("i", scope "g") that draw a
+//     vertical marker across every track.
+//
+// Timestamps are microseconds (the format's unit); sim time is nanoseconds, so
+// slices keep sub-microsecond precision via fractional ts values.
+
+#ifndef SRC_OBS_PERFETTO_H_
+#define SRC_OBS_PERFETTO_H_
+
+#include <string>
+
+#include "src/obs/events.h"
+#include "src/obs/trace.h"
+
+namespace sns {
+
+// Renders every retained trace of `collector`, plus (optionally) the message and
+// fault events of `events`, as one Chrome-trace JSON document.
+std::string ExportChromeTrace(const TraceCollector& collector, const EventLog* events = nullptr);
+
+}  // namespace sns
+
+#endif  // SRC_OBS_PERFETTO_H_

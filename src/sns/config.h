@@ -114,6 +114,11 @@ struct SnsConfig {
   // --- Monitor --------------------------------------------------------------------
   SimDuration monitor_report_period = Seconds(1);
   SimDuration monitor_component_ttl = Seconds(5);
+
+  // --- Flight recorder --------------------------------------------------------------
+  // Cadence at which the time-series recorder samples every registered metric plus
+  // the per-node CPU probes into its ring buffers.
+  SimDuration timeseries_interval = Milliseconds(250);
 };
 
 }  // namespace sns

@@ -337,6 +337,11 @@ void FrontEndProcess::DrainAcceptQueue() {
       ExpireQueuedRequest(next);
       continue;
     }
+    if (sim()->now() > next.enqueued_at) {
+      // Sibling of the upcoming fe.request span under the client root: the
+      // analyzer charges this window to fe_accept_queue_wait.
+      RecordSpan(ChildSpan(next.trace), "fe.queue_wait", next.enqueued_at, "ok");
+    }
     StartRequest(std::move(next.request), next.client, next.trace);
   }
   queued_gauge_->Set(static_cast<double>(accept_queue_.size()));
@@ -362,9 +367,11 @@ void FrontEndProcess::ExpireAcceptQueue() {
 
 void FrontEndProcess::ExpireQueuedRequest(const AcceptedRequest& entry) {
   deadline_expired_->Increment();
-  // The request died waiting for a thread; record the span so queue deaths are
-  // visible in traces, not just the counter.
-  RecordSpan(ChildSpan(entry.trace), "fe.request", entry.enqueued_at, "deadline_expired");
+  // The request died waiting for a thread; record the spans so queue deaths are
+  // visible in traces, not just the counter. The whole window was queue wait.
+  TraceContext fe_ctx = ChildSpan(entry.trace);
+  RecordSpan(ChildSpan(fe_ctx), "fe.queue_wait", entry.enqueued_at, "deadline_expired");
+  RecordSpan(fe_ctx, "fe.request", entry.enqueued_at, "deadline_expired");
   auto reply = std::make_shared<ClientResponsePayload>();
   reply->client_request_id = entry.request->client_request_id;
   reply->status = TimeoutError("deadline expired in accept queue");
@@ -407,6 +414,8 @@ void FrontEndProcess::DoGetProfile(RequestContext* ctx, RequestContext::ProfileC
   PendingProfileOp op;
   op.request_id = ctx->id_;
   op.cb = std::move(cb);
+  op.trace = ChildSpan(ctx->trace_);
+  op.started = sim()->now();
   op.timeout = After(CapToBudget(config_.profile_timeout, budget), [this, op_id] {
     auto it = pending_profile_.find(op_id);
     if (it == pending_profile_.end()) {
@@ -414,20 +423,21 @@ void FrontEndProcess::DoGetProfile(RequestContext* ctx, RequestContext::ProfileC
     }
     PendingProfileOp pending = std::move(it->second);
     pending_profile_.erase(it);
+    RecordSpan(pending.trace, "fe.profile_get", pending.started, "timeout");
     RequestContext* ctx2 = FindContext(pending.request_id);
     if (ctx2 != nullptr && !ctx2->responded_) {
       // BASE: fall back to an empty profile rather than failing the request.
       pending.cb(ctx2, false, UserProfile(ctx2->request_->user_id));
     }
   });
-  pending_profile_[op_id] = std::move(op);
   Message msg;
   msg.dst = db;
   msg.type = kMsgProfileGet;
   msg.transport = Transport::kReliable;
   msg.size_bytes = 64 + static_cast<int64_t>(user.size());
   msg.payload = payload;
-  msg.trace = ctx->trace_;
+  msg.trace = op.trace;
+  pending_profile_[op_id] = std::move(op);
   Send(std::move(msg));
 }
 
@@ -440,6 +450,7 @@ void FrontEndProcess::HandleProfileReply(const Message& msg) {
   PendingProfileOp op = std::move(it->second);
   pending_profile_.erase(it);
   CancelTimer(op.timeout);
+  RecordSpan(op.trace, "fe.profile_get", op.started, reply.found ? "ok" : "miss");
   RequestContext* ctx = FindContext(op.request_id);
   if (ctx == nullptr || ctx->responded_) {
     return;
@@ -495,6 +506,8 @@ void FrontEndProcess::DoCacheGet(RequestContext* ctx, const std::string& key,
   PendingCacheOp op;
   op.request_id = ctx->id_;
   op.cb = std::move(cb);
+  op.trace = ChildSpan(ctx->trace_);
+  op.started = sim()->now();
   op.timeout = After(CapToBudget(config_.cache_timeout, budget), [this, op_id] {
     auto it = pending_cache_.find(op_id);
     if (it == pending_cache_.end()) {
@@ -502,19 +515,20 @@ void FrontEndProcess::DoCacheGet(RequestContext* ctx, const std::string& key,
     }
     PendingCacheOp pending = std::move(it->second);
     pending_cache_.erase(it);
+    RecordSpan(pending.trace, "fe.cache_get", pending.started, "timeout");
     RequestContext* ctx2 = FindContext(pending.request_id);
     if (ctx2 != nullptr && !ctx2->responded_) {
       pending.cb(ctx2, false, nullptr);  // Timeout == miss (caching is an optimization).
     }
   });
-  pending_cache_[op_id] = std::move(op);
   Message msg;
   msg.dst = *node;
   msg.type = kMsgCacheGet;
   msg.transport = Transport::kReliable;
   msg.size_bytes = WireSizeOf(*payload);
   msg.payload = payload;
-  msg.trace = ctx->trace_;
+  msg.trace = op.trace;
+  pending_cache_[op_id] = std::move(op);
   // Harvest's protocol: a fresh TCP connection per cache request (§3.1.5).
   San::SendOptions opts;
   opts.force_new_connection = true;
@@ -530,6 +544,7 @@ void FrontEndProcess::HandleCacheReply(const Message& msg) {
   PendingCacheOp op = std::move(it->second);
   pending_cache_.erase(it);
   CancelTimer(op.timeout);
+  RecordSpan(op.trace, "fe.cache_get", op.started, reply.hit ? "hit" : "miss");
   RequestContext* ctx = FindContext(op.request_id);
   if (ctx == nullptr || ctx->responded_) {
     return;
@@ -546,13 +561,18 @@ void FrontEndProcess::DoCachePut(RequestContext* ctx, const std::string& key,
   auto payload = std::make_shared<CachePutPayload>();
   payload->key = key;
   payload->content = std::move(content);
+  // Fire-and-forget: record a zero-length marker at the send so the put shows up
+  // in the trace without ever appearing on the request's critical path (the
+  // server-side cache.put child clips to zero inside the analyzer's walk).
+  TraceContext put_ctx = ChildSpan(ctx->trace_);
+  RecordSpan(put_ctx, "fe.cache_put", sim()->now(), "ok");
   Message msg;
   msg.dst = *node;
   msg.type = kMsgCachePut;
   msg.transport = Transport::kReliable;
   msg.size_bytes = WireSizeOf(*payload);
   msg.payload = payload;
-  msg.trace = ctx->trace_;
+  msg.trace = put_ctx;
   San::SendOptions opts;
   opts.force_new_connection = true;
   Send(std::move(msg), std::move(opts));
@@ -580,6 +600,8 @@ void FrontEndProcess::DoFetch(RequestContext* ctx, const std::string& url,
   PendingFetchOp op;
   op.request_id = ctx->id_;
   op.cb = std::move(cb);
+  op.trace = ChildSpan(ctx->trace_);
+  op.started = sim()->now();
   op.timeout = After(CapToBudget(config_.fetch_timeout, budget), [this, op_id] {
     auto it = pending_fetch_.find(op_id);
     if (it == pending_fetch_.end()) {
@@ -587,19 +609,20 @@ void FrontEndProcess::DoFetch(RequestContext* ctx, const std::string& url,
     }
     PendingFetchOp pending = std::move(it->second);
     pending_fetch_.erase(it);
+    RecordSpan(pending.trace, "fe.fetch", pending.started, "timeout");
     RequestContext* ctx2 = FindContext(pending.request_id);
     if (ctx2 != nullptr && !ctx2->responded_) {
       pending.cb(ctx2, TimeoutError("origin fetch timed out"), nullptr);
     }
   });
-  pending_fetch_[op_id] = std::move(op);
   Message msg;
   msg.dst = options_.origin;
   msg.type = kMsgFetchRequest;
   msg.transport = Transport::kReliable;
   msg.size_bytes = 96 + static_cast<int64_t>(url.size());
   msg.payload = payload;
-  msg.trace = ctx->trace_;
+  msg.trace = op.trace;
+  pending_fetch_[op_id] = std::move(op);
   Send(std::move(msg));
 }
 
@@ -612,6 +635,7 @@ void FrontEndProcess::HandleFetchResponse(const Message& msg) {
   PendingFetchOp op = std::move(it->second);
   pending_fetch_.erase(it);
   CancelTimer(op.timeout);
+  RecordSpan(op.trace, "fe.fetch", op.started, reply.status.ok() ? "ok" : "error");
   RequestContext* ctx = FindContext(op.request_id);
   if (ctx == nullptr || ctx->responded_) {
     return;
@@ -695,6 +719,10 @@ void FrontEndProcess::AttemptTask(uint64_t task_id) {
       FailTask(task_id, UnavailableError("no worker of type " + task.type));
       return;
     }
+    // The wait-for-spawn window gets its own span so the analyzer can charge it
+    // to manager_stub_lookup; the spawn message nests the manager's span under it.
+    TraceContext spawn_ctx = ChildSpan(task.trace);
+    SimTime spawn_started = sim()->now();
     if (stub_.ManagerKnown()) {
       auto payload = std::make_shared<SpawnRequestPayload>();
       payload->worker_type = task.type;
@@ -704,14 +732,19 @@ void FrontEndProcess::AttemptTask(uint64_t task_id) {
       msg.transport = Transport::kReliable;
       msg.size_bytes = 64;
       msg.payload = payload;
-      msg.trace = task.trace;
+      msg.trace = spawn_ctx;
       Send(std::move(msg));
     }
-    After(Milliseconds(300), [this, task_id] { AttemptTask(task_id); });
+    After(Milliseconds(300), [this, task_id, spawn_ctx, spawn_started] {
+      RecordSpan(spawn_ctx, "fe.spawn_wait", spawn_started, "ok");
+      AttemptTask(task_id);
+    });
     return;
   }
 
   task.worker = *worker;
+  task.attempt_trace = ChildSpan(task.trace);
+  task.attempt_started = sim()->now();
   stub_.NoteTaskSent(*worker);
   task.timeout = After(CapToBudget(config_.task_timeout, budget), [this, task_id] {
     auto it2 = pending_tasks_.find(task_id);
@@ -719,6 +752,8 @@ void FrontEndProcess::AttemptTask(uint64_t task_id) {
       return;
     }
     task_timeouts_->Increment();
+    RecordSpan(it2->second.attempt_trace, "fe.task_attempt", it2->second.attempt_started,
+               "timeout");
     stub_.NoteTaskDone(it2->second.worker);
     TaskAttemptFailed(task_id, /*worker_dead=*/false);
   });
@@ -729,7 +764,7 @@ void FrontEndProcess::AttemptTask(uint64_t task_id) {
   msg.transport = Transport::kReliable;
   msg.size_bytes = WireSizeOf(*task.payload);
   msg.payload = task.payload;
-  msg.trace = task.trace;
+  msg.trace = task.attempt_trace;
   San::SendOptions opts;
   opts.on_failed = [this, task_id](const Message&) {
     // Broken connection: the worker process is gone (§3.1.3 fast failure detection).
@@ -738,6 +773,8 @@ void FrontEndProcess::AttemptTask(uint64_t task_id) {
       return;
     }
     CancelTimer(it2->second.timeout);
+    RecordSpan(it2->second.attempt_trace, "fe.task_attempt", it2->second.attempt_started,
+               "broken");
     stub_.NoteTaskDone(it2->second.worker);
     TaskAttemptFailed(task_id, /*worker_dead=*/true);
   };
@@ -785,7 +822,14 @@ void FrontEndProcess::TaskAttemptFailed(uint64_t task_id, bool worker_dead) {
     }
   }
   retries_backoff_->Increment();
-  After(delay, [this, task_id] { AttemptTask(task_id); });
+  // The deliberate idle is its own span: the analyzer charges the gap between
+  // attempts to retry_backoff_idle instead of leaving it unattributed.
+  TraceContext backoff_ctx = ChildSpan(task.trace);
+  SimTime backoff_started = sim()->now();
+  After(delay, [this, task_id, backoff_ctx, backoff_started] {
+    RecordSpan(backoff_ctx, "fe.retry_backoff", backoff_started, "ok");
+    AttemptTask(task_id);
+  });
 }
 
 void FrontEndProcess::FailTask(uint64_t task_id, Status status) {
@@ -832,6 +876,8 @@ void FrontEndProcess::HandleTaskResponse(const Message& msg) {
     // full, or the backlog cannot meet the deadline). Retry on another worker
     // through the same backoff discipline as a timeout.
     CancelTimer(it->second.timeout);
+    RecordSpan(it->second.attempt_trace, "fe.task_attempt", it->second.attempt_started,
+               "rejected");
     stub_.NoteTaskDone(it->second.worker);
     TaskAttemptFailed(reply.task_id, /*worker_dead=*/false);
     return;
@@ -839,6 +885,8 @@ void FrontEndProcess::HandleTaskResponse(const Message& msg) {
   PendingTask task = std::move(it->second);
   pending_tasks_.erase(it);
   CancelTimer(task.timeout);
+  RecordSpan(task.attempt_trace, "fe.task_attempt", task.attempt_started,
+             reply.status.ok() ? "ok" : "error");
   stub_.NoteTaskDone(task.worker);
   RequestContext* ctx = FindContext(task.request_id);
   if (ctx == nullptr || ctx->responded_) {

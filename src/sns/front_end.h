@@ -167,7 +167,11 @@ class FrontEndProcess : public Process {
     RequestContext::ContentCb cb;
     Endpoint worker;
     Endpoint avoid;      // The worker the previous attempt failed on; retries skip it.
-    TraceContext trace;  // The owning request's context, re-stamped on every retry.
+    TraceContext trace;  // The owning request's context.
+    // Per-attempt span: a fresh child of `trace` for every dispatch, so retries
+    // show up as sibling subtrees and the analyzer can see the gaps between them.
+    TraceContext attempt_trace;
+    SimTime attempt_started = 0;
     int attempts_left = 0;
     int spawn_waits_left = 0;
     EventId timeout = kInvalidEventId;
@@ -179,19 +183,28 @@ class FrontEndProcess : public Process {
     SimTime enqueued_at = 0;
     SimTime deadline = kTimeNever;
   };
+  // Facility ops carry their own child span ([send .. reply/timeout]) so the
+  // server-side span nests inside and wire time is visible as the FE span's
+  // self time.
   struct PendingCacheOp {
     uint64_t request_id = 0;
     RequestContext::CacheCb cb;
+    TraceContext trace;
+    SimTime started = 0;
     EventId timeout = kInvalidEventId;
   };
   struct PendingProfileOp {
     uint64_t request_id = 0;
     RequestContext::ProfileCb cb;
+    TraceContext trace;
+    SimTime started = 0;
     EventId timeout = kInvalidEventId;
   };
   struct PendingFetchOp {
     uint64_t request_id = 0;
     RequestContext::ContentCb cb;
+    TraceContext trace;
+    SimTime started = 0;
     EventId timeout = kInvalidEventId;
   };
 

@@ -1,13 +1,33 @@
 #include "src/sns/system.h"
 
+#include "src/cluster/failure_injector.h"
 #include "src/util/logging.h"
+#include "src/util/strings.h"
 
 namespace sns {
 
 SnsSystem::SnsSystem(const SnsConfig& config, const SystemTopology& topology)
-    : config_(config), topology_(topology), san_(&sim_, topology.san), cluster_(&sim_, &san_) {}
+    : config_(config), topology_(topology), san_(&sim_, topology.san), cluster_(&sim_, &san_) {
+  san_.set_event_log(&event_log_);
+  san_.BindMetrics(cluster_.metrics());
+}
 
 SnsSystem::~SnsSystem() = default;
+
+void SnsSystem::AttachFailureInjector(FailureInjector* injector) {
+  injector->set_event_sink(
+      [this](SimTime at, const std::string& what) { event_log_.RecordFault({at, what}); });
+}
+
+void SnsSystem::AddNodeProbes(NodeId node) {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  recorder_->AddProbe(StrFormat("node.%d.cpu_util", node),
+                      [this, node] { return cluster_.CpuUtilization(node); });
+  recorder_->AddProbe(StrFormat("node.%d.cpu_backlog_s", node),
+                      [this, node] { return cluster_.CpuBacklogSeconds(node); });
+}
 
 void SnsSystem::SeedProfile(const UserProfile& profile) {
   profile_store_.Put(profile.user_id(), profile.Serialize());
@@ -44,6 +64,16 @@ void SnsSystem::Start() {
   NodeConfig overflow;
   overflow.overflow_pool = true;
   overflow_pool_ = cluster_.AddNodes(topology_.overflow_nodes, overflow);
+
+  // --- Flight recorder: sample every metric + per-node CPU on a fixed cadence. ---
+  recorder_ = std::make_unique<TimeSeriesRecorder>(cluster_.metrics(),
+                                                   config_.timeseries_interval);
+  for (NodeId node : cluster_.AllNodes()) {
+    AddNodeProbes(node);
+  }
+  recorder_timer_ = std::make_unique<PeriodicTimer>(
+      &sim_, config_.timeseries_interval, [this] { recorder_->SampleAt(sim_.now()); });
+  recorder_timer_->Start();
 
   // --- Spawn the infrastructure processes. ---
   manager_pid_ = cluster_.Spawn(
@@ -98,6 +128,7 @@ int SnsSystem::AddFrontEnd() {
   fe.workers_allowed = false;
   fe.link = topology_.fe_link;
   fe_nodes_.push_back(cluster_.AddNode(fe));
+  AddNodeProbes(fe_nodes_.back());
   fe_pids_.push_back(kInvalidProcess);
   int fe_index = static_cast<int>(fe_pids_.size()) - 1;
   RelaunchFrontEnd(fe_index);

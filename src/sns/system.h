@@ -21,7 +21,10 @@
 
 #include "src/cluster/cluster.h"
 #include "src/net/san.h"
+#include "src/obs/events.h"
+#include "src/obs/timeseries.h"
 #include "src/sim/simulator.h"
+#include "src/sim/timer.h"
 #include "src/sns/cache_node.h"
 #include "src/sns/config.h"
 #include "src/sns/front_end.h"
@@ -34,6 +37,8 @@
 #include "src/tacc/registry.h"
 
 namespace sns {
+
+class FailureInjector;
 
 struct SystemTopology {
   // Node counts (each component class gets its own nodes, as in Figure 1).
@@ -117,6 +122,12 @@ class SnsSystem : public ComponentLauncher {
   // every component (and surviving component restarts).
   MetricsRegistry* metrics() { return cluster_.metrics(); }
   TraceCollector* tracer() { return cluster_.tracer(); }
+  // Flight recorder: the SAN message / fault event log and the periodic metric
+  // sampler (created in Start; null before).
+  EventLog* event_log() { return &event_log_; }
+  TimeSeriesRecorder* recorder() { return recorder_.get(); }
+  // Forwards every fault `injector` applies onto the flight-recorder timeline.
+  void AttachFailureInjector(FailureInjector* injector);
   const SnsConfig& config() const { return config_; }
   const SystemTopology& topology() const { return topology_; }
 
@@ -146,6 +157,9 @@ class SnsSystem : public ComponentLauncher {
   int64_t TotalErrorResponses() const;
 
  private:
+  // Registers the per-node CPU gauges ("node.<id>.cpu_util" / ".cpu_backlog_s")
+  // with the time-series recorder.
+  void AddNodeProbes(NodeId node);
   NodeId PickUpNodePreferring(NodeId preferred, NodeId requester) const;
   // True when `requester` has no vantage point (kInvalidNode) or `target` is up and
   // on the requester's side of any SAN partition.
@@ -158,6 +172,9 @@ class SnsSystem : public ComponentLauncher {
   Cluster cluster_;
   WorkerRegistry registry_;
   KvStore profile_store_;
+  EventLog event_log_;
+  std::unique_ptr<TimeSeriesRecorder> recorder_;
+  std::unique_ptr<PeriodicTimer> recorder_timer_;
 
   std::function<std::shared_ptr<FrontEndLogic>(int)> logic_factory_;
   std::function<std::unique_ptr<Process>()> origin_factory_;

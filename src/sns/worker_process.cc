@@ -182,7 +182,13 @@ void WorkerProcess::StartNext() {
   SimDuration cost = queued.estimated_cost;
   TraceContext span = queued.trace;
   SimTime enqueued_at = queued.enqueued_at;
-  RunOnCpu(cost, [this, cost, task, span, enqueued_at, request = std::move(request)] {
+  if (sim()->now() > enqueued_at) {
+    // Sub-span: time queued behind earlier tasks, distinct from the compute below.
+    RecordSpan(ChildSpan(span), "worker.queue_wait", enqueued_at, "ok");
+  }
+  SimTime service_start = sim()->now();
+  RunOnCpu(cost, [this, cost, task, span, enqueued_at, service_start,
+                  request = std::move(request)] {
     queued_cost_ -= cost;
     // Pathological input: the worker code crashes. The SNS layer's process-peer
     // fault tolerance masks this — no reply is sent; the front end times out or
@@ -194,6 +200,8 @@ void WorkerProcess::StartNext() {
     }
     TaccResult result = worker_->Process(request);
     completed_->Increment();
+    RecordSpan(ChildSpan(span), "worker.service", service_start,
+               result.status.ok() ? "ok" : "error");
     RecordSpan(span, "worker.task", enqueued_at, result.status.ok() ? "ok" : "error");
     auto reply = std::make_shared<TaskResponsePayload>();
     reply->task_id = task->task_id;

@@ -121,8 +121,23 @@ void LogHistogram::Add(double x) {
   }
   double pos = (std::log10(x) - log_lo_) / log_step_;
   if (pos < 0) {
-    ++underflow_;
-    return;
+    // A positive sample below the current bottom edge: extend the layout downward
+    // by whole buckets so the sample keeps log-scale resolution. Inserting at the
+    // front and lowering log_lo_ by the same number of steps leaves every existing
+    // sample in its bucket and the top edge where it was.
+    double need = std::ceil(-pos);
+    if (need > static_cast<double>(kMaxBuckets) ||
+        counts_.size() + static_cast<size_t>(need) > kMaxBuckets) {
+      ++underflow_;
+      return;
+    }
+    auto extra = static_cast<size_t>(need);
+    counts_.insert(counts_.begin(), extra, 0);
+    log_lo_ -= log_step_ * static_cast<double>(extra);
+    pos = (std::log10(x) - log_lo_) / log_step_;
+    if (pos < 0) {
+      pos = 0;  // Guard against floating-point residue at the new bottom edge.
+    }
   }
   auto i = static_cast<size_t>(pos);
   if (i >= counts_.size()) {

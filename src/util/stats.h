@@ -75,8 +75,19 @@ class Histogram {
 
 // Histogram with logarithmically spaced buckets, natural for content sizes that span
 // 10 B .. 1 MB (paper Fig. 5 uses a log-scaled x axis).
+//
+// The configured [lo, hi) is a starting layout, not a hard floor: positive samples
+// below `lo` grow the bucket vector downward (up to kMaxBuckets total) so that
+// sub-range values — e.g. sub-millisecond SAN transit times in a seconds-scaled
+// histogram — keep real resolution instead of collapsing into one underflow bucket
+// where every quantile degenerates to the same value. Only non-positive samples
+// (which have no logarithm) land in underflow.
 class LogHistogram {
  public:
+  // Total bucket cap; a positive sample so small that honoring it would exceed the
+  // cap is counted as underflow instead of allocating unbounded memory.
+  static constexpr size_t kMaxBuckets = 512;
+
   // Buckets per decade controls resolution; range [lo, hi) with lo > 0.
   LogHistogram(double lo, double hi, size_t buckets_per_decade);
 

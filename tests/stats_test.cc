@@ -116,14 +116,11 @@ TEST(LogHistogramTest, PercentileApproximatesMedian) {
   EXPECT_NEAR(hist.Percentile(0.5) / 2981.0, 1.0, 0.1);
 }
 
-TEST(LogHistogramTest, UnderflowHeavyPercentilesClampToLowerBound) {
+TEST(LogHistogramTest, NonPositivePercentilesClampToLowerBound) {
   LogHistogram hist(10, 1e3, 10);
-  // Non-positive and sub-range samples all land in underflow: 90% of the mass.
-  for (int i = 0; i < 45; ++i) {
+  // Non-positive samples have no logarithm; they stay in underflow: 90% of the mass.
+  for (int i = 0; i < 90; ++i) {
     hist.Add(0.0);
-  }
-  for (int i = 0; i < 45; ++i) {
-    hist.Add(1.0);
   }
   for (int i = 0; i < 10; ++i) {
     hist.Add(100.0);
@@ -136,6 +133,41 @@ TEST(LogHistogramTest, UnderflowHeavyPercentilesClampToLowerBound) {
   double p95 = hist.Percentile(0.95);
   EXPECT_GE(p95, hist.BucketLow(0));
   EXPECT_LE(p95, 1e3);
+}
+
+TEST(LogHistogramTest, SubRangeValuesKeepResolutionWithKnownQuantiles) {
+  // Sub-millisecond SAN transit times recorded into a seconds-scaled histogram.
+  // Before the downward-extension fix every sample below `lo` collapsed into one
+  // underflow bucket and p50 == p99 == BucketLow(0); now the layout grows downward
+  // and the quantiles resolve to their true (bucket-width-accurate) values.
+  LogHistogram hist(1e-3, 10.0, 10);
+  for (int i = 0; i < 90; ++i) {
+    hist.Add(50e-6);  // 50 µs, two decades below lo.
+  }
+  for (int i = 0; i < 10; ++i) {
+    hist.Add(2e-3);
+  }
+  EXPECT_EQ(hist.TotalCount(), 100);
+  // One log10 bucket at 10/decade spans a factor of 10^0.1 ~ 1.26.
+  double width = std::pow(10.0, 0.1);
+  double p50 = hist.Percentile(0.5);
+  EXPECT_GE(p50, 50e-6 / width);
+  EXPECT_LE(p50, 50e-6 * width);
+  double p99 = hist.Percentile(0.99);
+  EXPECT_GE(p99, 2e-3 / width);
+  EXPECT_LE(p99, 2e-3 * width);
+  EXPECT_GT(p99, p50 * 10.0);  // The two modes stay distinguishable.
+}
+
+TEST(LogHistogramTest, DownwardGrowthIsBoundedAgainstDenormalJunk) {
+  LogHistogram hist(1.0, 10.0, 10);
+  size_t before = hist.bucket_count();
+  hist.Add(1e-300);  // Honoring this would need ~3000 buckets; refuse, keep it in underflow.
+  EXPECT_EQ(hist.bucket_count(), before);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), hist.BucketLow(0));
+  hist.Add(0.5);  // A reasonable sub-range value still extends.
+  EXPECT_GT(hist.bucket_count(), before);
+  EXPECT_LE(hist.bucket_count(), LogHistogram::kMaxBuckets);
 }
 
 TEST(LogHistogramTest, OverflowHeavyPercentilesClampToUpperBound) {

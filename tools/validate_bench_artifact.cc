@@ -1,0 +1,346 @@
+// Validates a BENCH_<name>.json run artifact against the uniform schema every
+// bench binary emits (see bench/bench_common.h::DumpRunArtifact):
+//
+//   {"meta":{"schema_version":1,"bench":<non-empty string>,"time_ns":<int>},
+//    "snapshot":{...},"timeseries":{...},"critical_path":{...},"traces":{...}}
+//
+// Used by the perf-smoke ctest label: each short-mode bench run is a fixture
+// setup, and this validator is the check that the artifact exists, parses, and
+// carries every top-level section. Exit 0 on success; non-zero with a message
+// on any missing/malformed artifact.
+//
+// The parser below is a minimal recursive-descent JSON reader — just enough to
+// verify well-formedness and pull out the handful of fields the schema pins
+// down. No third-party JSON dependency.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  explicit Parser(const std::string& text)
+      : p(text.data()), end(text.data() + text.size()) {}
+
+  bool Fail(const std::string& what) {
+    if (error.empty()) {
+      error = what;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (p >= end || *p != '"') {
+      return Fail("expected string");
+    }
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) {
+          return Fail("truncated escape");
+        }
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              ++p;
+              if (p >= end || !isxdigit(static_cast<unsigned char>(*p))) {
+                return Fail("bad \\u escape");
+              }
+            }
+            out->push_back('?');  // Validation only; code point not needed.
+            break;
+          }
+          default:
+            return Fail("bad escape character");
+        }
+        ++p;
+      } else {
+        out->push_back(*p);
+        ++p;
+      }
+    }
+    if (p >= end) {
+      return Fail("unterminated string");
+    }
+    ++p;  // closing quote
+    return true;
+  }
+
+  // Validates any JSON value. When `number_out`/`string_out` are non-null and
+  // the value is of that type, the parsed value is stored there.
+  bool ParseValue(double* number_out, std::string* string_out);
+
+  bool ParseObject(std::map<std::string, std::string>* keys_seen) {
+    if (!Consume('{')) {
+      return false;
+    }
+    SkipWs();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      if (!Consume(':')) {
+        return false;
+      }
+      if (!ParseValue(nullptr, nullptr)) {
+        return false;
+      }
+      if (keys_seen != nullptr) {
+        (*keys_seen)[key] = "";
+      }
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray() {
+    if (!Consume('[')) {
+      return false;
+    }
+    SkipWs();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      if (!ParseValue(nullptr, nullptr)) {
+        return false;
+      }
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWs();
+    char* num_end = nullptr;
+    double v = std::strtod(p, &num_end);
+    if (num_end == p) {
+      return Fail("expected number");
+    }
+    p = num_end;
+    if (out != nullptr) {
+      *out = v;
+    }
+    return true;
+  }
+
+  bool Literal(const char* word) {
+    SkipWs();
+    for (const char* w = word; *w != '\0'; ++w, ++p) {
+      if (p >= end || *p != *w) {
+        return Fail(std::string("expected '") + word + "'");
+      }
+    }
+    return true;
+  }
+};
+
+bool Parser::ParseValue(double* number_out, std::string* string_out) {
+  SkipWs();
+  if (p >= end) {
+    return Fail("unexpected end of input");
+  }
+  switch (*p) {
+    case '{':
+      return ParseObject(nullptr);
+    case '[':
+      return ParseArray();
+    case '"': {
+      std::string s;
+      if (!ParseString(&s)) {
+        return false;
+      }
+      if (string_out != nullptr) {
+        *string_out = s;
+      }
+      return true;
+    }
+    case 't':
+      return Literal("true");
+    case 'f':
+      return Literal("false");
+    case 'n':
+      return Literal("null");
+    default:
+      return ParseNumber(number_out);
+  }
+}
+
+// Parses the artifact's top level, recording which keys are present and
+// validating the pinned `meta` fields along the way.
+bool ValidateArtifact(const std::string& text, std::string* error) {
+  Parser parser(text);
+  parser.SkipWs();
+  if (!parser.Consume('{')) {
+    *error = "top level is not a JSON object";
+    return false;
+  }
+  std::map<std::string, bool> seen;
+  double schema_version = -1;
+  std::string bench_name;
+  bool has_time_ns = false;
+  while (true) {
+    std::string key;
+    if (!parser.ParseString(&key) || !parser.Consume(':')) {
+      *error = "malformed top-level key: " + parser.error;
+      return false;
+    }
+    seen[key] = true;
+    if (key == "meta") {
+      // Walk meta's fields individually so schema_version/bench are checked.
+      if (!parser.Consume('{')) {
+        *error = "meta is not an object";
+        return false;
+      }
+      while (true) {
+        std::string meta_key;
+        if (!parser.ParseString(&meta_key) || !parser.Consume(':')) {
+          *error = "malformed meta key: " + parser.error;
+          return false;
+        }
+        double num = -1;
+        std::string str;
+        if (!parser.ParseValue(&num, &str)) {
+          *error = "malformed meta value: " + parser.error;
+          return false;
+        }
+        if (meta_key == "schema_version") {
+          schema_version = num;
+        } else if (meta_key == "bench") {
+          bench_name = str;
+        } else if (meta_key == "time_ns") {
+          has_time_ns = true;
+        }
+        parser.SkipWs();
+        if (parser.p < parser.end && *parser.p == ',') {
+          ++parser.p;
+          continue;
+        }
+        if (!parser.Consume('}')) {
+          *error = "unterminated meta object";
+          return false;
+        }
+        break;
+      }
+    } else if (!parser.ParseValue(nullptr, nullptr)) {
+      *error = "malformed value for \"" + key + "\": " + parser.error;
+      return false;
+    }
+    parser.SkipWs();
+    if (parser.p < parser.end && *parser.p == ',') {
+      ++parser.p;
+      continue;
+    }
+    if (!parser.Consume('}')) {
+      *error = "unterminated top-level object";
+      return false;
+    }
+    break;
+  }
+  parser.SkipWs();
+  if (parser.p != parser.end) {
+    *error = "trailing content after top-level object";
+    return false;
+  }
+
+  for (const char* required :
+       {"meta", "snapshot", "timeseries", "critical_path", "traces"}) {
+    if (seen.find(required) == seen.end()) {
+      *error = std::string("missing top-level section \"") + required + "\"";
+      return false;
+    }
+  }
+  if (schema_version != 1) {
+    *error = "meta.schema_version is not 1";
+    return false;
+  }
+  if (bench_name.empty()) {
+    *error = "meta.bench is missing or empty";
+    return false;
+  }
+  if (!has_time_ns) {
+    *error = "meta.time_ns is missing";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_<name>.json [...]\n", argv[0]);
+    return 2;
+  }
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: MISSING (bench did not emit its artifact)\n", argv[i]);
+      ++bad;
+      continue;
+    }
+    std::string text;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+    std::string error;
+    if (!ValidateArtifact(text, &error)) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", argv[i], error.c_str());
+      ++bad;
+      continue;
+    }
+    std::printf("%s: ok (%zu bytes)\n", argv[i], text.size());
+  }
+  return bad == 0 ? 0 : 1;
+}
