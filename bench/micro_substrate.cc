@@ -1,14 +1,32 @@
 // Microbenchmarks of the substrate components (google-benchmark).
 //
 // Not a paper table — these guard the performance of the building blocks the
-// simulation rests on: the event queue, the codecs, the caches, the index.
+// simulation rests on: the event queue, the SAN delivery path, the codecs, the
+// caches, the index. The event-core benchmarks run identical workloads against
+// the production timer wheel (src/sim/simulator.h) and the retired binary-heap
+// algorithm (bench/reference_heap_sim.h) so the wheel's speedup is measured,
+// not assumed.
+//
+// Unlike the paper-table benches this binary wraps google-benchmark, so it
+// emits its BENCH_micro_substrate.json artifact from a custom main: the
+// snapshot section carries events/sec for every benchmark plus the
+// wheel-vs-heap speedup on the schedule/cancel churn workload, keeping the
+// event-core perf trajectory visible PR-over-PR. `--short` (the perf-smoke
+// fixture flag) maps to a small --benchmark_min_time.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/reference_heap_sim.h"
 #include "src/content/gif_codec.h"
 #include "src/content/html.h"
 #include "src/content/image.h"
 #include "src/content/jpeg_codec.h"
+#include "src/net/san.h"
 #include "src/services/hotbot/inverted_index.h"
 #include "src/sim/simulator.h"
 #include "src/store/consistent_hash.h"
@@ -33,6 +51,124 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorScheduleRun);
+
+// --- Event-core churn: steady-state schedule/cancel mix ----------------------
+//
+// The workload the wheel was built for: a large standing population of pending
+// timers (retry timeouts, beacon periods) where most timers are cancelled and
+// rearmed before they fire — exactly what overload-control and chaos runs do.
+// Each op schedules one near-future event and cancels the one scheduled
+// kLivePopulation ops ago (which may have fired already: a legal no-op cancel);
+// a fraction of steps drains so the population stays steady.
+
+constexpr size_t kLivePopulation = 4096;
+constexpr int kChurnOpsPerIter = 1024;
+
+template <typename SimT>
+void ChurnScheduleCancel(benchmark::State& state) {
+  SimT sim;
+  Rng rng(42);
+  std::vector<uint64_t> ring(kLivePopulation, 0);
+  size_t pos = 0;
+  int64_t fired = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kChurnOpsPerIter; ++i) {
+      SimDuration delay =
+          static_cast<SimDuration>(1000 + rng.Next() % 1000000);  // 1 µs .. 1 ms
+      uint64_t id = sim.Schedule(delay, [&fired] { ++fired; });
+      if (ring[pos] != 0) {
+        sim.Cancel(ring[pos]);
+      }
+      ring[pos] = id;
+      pos = (pos + 1) % kLivePopulation;
+      if ((i & 15) == 0) {
+        sim.Step();
+      }
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * kChurnOpsPerIter);
+}
+
+void BM_ChurnScheduleCancel_Wheel(benchmark::State& state) {
+  ChurnScheduleCancel<Simulator>(state);
+}
+BENCHMARK(BM_ChurnScheduleCancel_Wheel);
+
+void BM_ChurnScheduleCancel_SeedHeap(benchmark::State& state) {
+  ChurnScheduleCancel<ReferenceHeapSim>(state);
+}
+BENCHMARK(BM_ChurnScheduleCancel_SeedHeap);
+
+// --- Event-core blend: near, medium, and far (overflow-level) timers ---------
+//
+// 60% fire within microseconds (message hops), 30% within milliseconds
+// (timeouts), 10% land past the wheel horizon (~68.7 s) and exercise the
+// overflow level's migrate-in path.
+
+constexpr int kBlendEventsPerIter = 8192;
+
+template <typename SimT>
+void FarNearBlend(benchmark::State& state) {
+  for (auto _ : state) {
+    SimT sim;
+    Rng rng(7);
+    int64_t fired = 0;
+    for (int i = 0; i < kBlendEventsPerIter; ++i) {
+      uint64_t pick = rng.Next() % 10;
+      SimDuration delay;
+      if (pick < 6) {
+        delay = static_cast<SimDuration>(1 + rng.Next() % 10) * kMicrosecond;
+      } else if (pick < 9) {
+        delay = static_cast<SimDuration>(1 + rng.Next() % 10) * kMillisecond;
+      } else {
+        delay = Seconds(100) + static_cast<SimDuration>(rng.Next() % 100) * kMillisecond;
+      }
+      sim.Schedule(delay, [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kBlendEventsPerIter);
+}
+
+void BM_FarNearBlend_Wheel(benchmark::State& state) { FarNearBlend<Simulator>(state); }
+BENCHMARK(BM_FarNearBlend_Wheel);
+
+void BM_FarNearBlend_SeedHeap(benchmark::State& state) {
+  FarNearBlend<ReferenceHeapSim>(state);
+}
+BENCHMARK(BM_FarNearBlend_SeedHeap);
+
+// --- SAN delivery fan-out ----------------------------------------------------
+//
+// End-to-end transport cost: one multicast beacon replicated to 63 subscribers,
+// each replica crossing ingress queueing + final delivery (two scheduled hops).
+// Exercises the flattened routing tables and the move-through delivery lambdas.
+
+void BM_SanMulticastFanout(benchmark::State& state) {
+  Simulator sim;
+  San san(&sim, SanConfig{});
+  constexpr NodeId kNodes = 64;
+  constexpr McastGroup kGroup = 1;
+  int64_t received = 0;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    san.AddNode(n);
+    Endpoint ep{n, 100};
+    san.Bind(ep, [&received](const Message&) { ++received; });
+    san.JoinGroup(kGroup, ep);
+  }
+  for (auto _ : state) {
+    Message beacon;
+    beacon.src = Endpoint{0, 100};
+    beacon.size_bytes = 256;
+    san.SendMulticast(kGroup, std::move(beacon));
+    sim.Run();
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(state.iterations() * (kNodes - 1));
+}
+BENCHMARK(BM_SanMulticastFanout);
 
 void BM_RngZipf(benchmark::State& state) {
   Rng rng(1);
@@ -137,7 +273,83 @@ void BM_InvertedIndexSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_InvertedIndexSearch);
 
+// --- Artifact emission -------------------------------------------------------
+
+// Console reporter that additionally captures each run's items/sec rate so the
+// artifact can carry events/sec as a first-class, machine-readable metric.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        rates_[run.benchmark_name()] = it->second.value;
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::map<std::string, double>& rates() const { return rates_; }
+
+ private:
+  std::map<std::string, double> rates_;
+};
+
+bool WriteArtifact(const std::map<std::string, double>& rates) {
+  std::string events;
+  for (const auto& [name, rate] : rates) {
+    if (!events.empty()) events += ",";
+    events += StrFormat("\"%s\":%.1f", JsonEscape(name).c_str(), rate);
+  }
+  auto rate_of = [&rates](const char* name) {
+    auto it = rates.find(name);
+    return it != rates.end() ? it->second : 0.0;
+  };
+  double churn_wheel = rate_of("BM_ChurnScheduleCancel_Wheel");
+  double churn_heap = rate_of("BM_ChurnScheduleCancel_SeedHeap");
+  double blend_wheel = rate_of("BM_FarNearBlend_Wheel");
+  double blend_heap = rate_of("BM_FarNearBlend_SeedHeap");
+  std::FILE* f = std::fopen("BENCH_micro_substrate.json", "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(
+      f,
+      "{\"meta\":{\"schema_version\":1,\"bench\":\"micro_substrate\",\"time_ns\":0},"
+      "\"snapshot\":{\"events_per_sec\":{%s},"
+      "\"speedup_churn_wheel_vs_heap\":%.3f,"
+      "\"speedup_blend_wheel_vs_heap\":%.3f},"
+      "\"timeseries\":{},\"critical_path\":{},\"traces\":{}}\n",
+      events.c_str(), churn_heap > 0 ? churn_wheel / churn_heap : 0.0,
+      blend_heap > 0 ? blend_wheel / blend_heap : 0.0);
+  std::fclose(f);
+  std::printf("\nartifacts: BENCH_micro_substrate.json "
+              "(churn speedup wheel/heap: %.2fx)\n",
+              churn_heap > 0 ? churn_wheel / churn_heap : 0.0);
+  return true;
+}
+
 }  // namespace
 }  // namespace sns
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Map the repo-wide perf-smoke `--short` flag onto a small min_time; pass
+  // everything else through to google-benchmark untouched.
+  std::vector<char*> args;
+  bool short_mode = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--short") {
+      short_mode = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = short_mode ? "--benchmark_min_time=0.05" : "--benchmark_min_time=0.2";
+  args.push_back(min_time.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  sns::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return sns::WriteArtifact(reporter.rates()) ? 0 : 1;
+}

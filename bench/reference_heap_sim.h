@@ -1,0 +1,124 @@
+// Reference event queue: the pre-wheel binary-heap algorithm.
+//
+// This is the simulator core the timer wheel replaced — a std::priority_queue
+// of (time, id, std::function) with an unordered-set lazy-cancel — preserved in
+// executable form for two jobs:
+//   1. bench/micro_substrate.cc runs identical churn workloads against this and
+//     the real Simulator to report the wheel's speedup as a first-class metric.
+//   2. tests/sim_differential_test.cc uses it as the independently-implemented
+//     oracle: both cores must produce the same pop order, clock, and counts for
+//     randomized schedule/cancel/run sequences.
+//
+// Bookkeeping (Cancel result, pending count) follows the CORRECTED contract of
+// Simulator — a live-id set instead of the old subtraction — so it is a valid
+// oracle; the algorithmic shape (heap push/pop, per-event std::function, hashed
+// cancellation) is unchanged, so it remains an honest performance baseline.
+
+#ifndef BENCH_REFERENCE_HEAP_SIM_H_
+#define BENCH_REFERENCE_HEAP_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace sns {
+
+class ReferenceHeapSim {
+ public:
+  using RefEventId = uint64_t;
+
+  SimTime now() const { return now_; }
+
+  RefEventId Schedule(SimDuration delay, std::function<void()> fn) {
+    if (delay < 0) delay = 0;
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  RefEventId ScheduleAt(SimTime t, std::function<void()> fn) {
+    if (t < now_) t = now_;
+    RefEventId id = next_id_++;
+    heap_.push(Event{t, id, std::move(fn)});
+    live_.insert(id);
+    return id;
+  }
+
+  bool Cancel(RefEventId id) {
+    if (live_.erase(id) == 0) return false;  // Fired, cancelled, or never existed.
+    cancelled_.insert(id);
+    return true;
+  }
+
+  bool Step() {
+    while (!heap_.empty()) {
+      Event ev = heap_.top();
+      heap_.pop();
+      auto it = cancelled_.find(ev.id);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      live_.erase(ev.id);
+      now_ = ev.time;
+      ++executed_;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  void Run() {
+    stopped_ = false;
+    while (!stopped_ && Step()) {
+    }
+  }
+
+  // Same contract as Simulator::RunUntil: Stop() freezes the clock.
+  void RunUntil(SimTime t) {
+    stopped_ = false;
+    while (!stopped_) {
+      while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+        cancelled_.erase(heap_.top().id);
+        heap_.pop();
+      }
+      if (heap_.empty() || heap_.top().time > t) break;
+      Step();
+    }
+    if (!stopped_ && now_ < t) now_ = t;
+  }
+
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+  void Stop() { stopped_ = true; }
+
+  size_t pending_events() const { return live_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    RefEventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO tie-break: lower id (earlier schedule) first.
+    }
+  };
+
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  RefEventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<RefEventId> cancelled_;
+  std::unordered_set<RefEventId> live_;
+};
+
+}  // namespace sns
+
+#endif  // BENCH_REFERENCE_HEAP_SIM_H_

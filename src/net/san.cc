@@ -1,5 +1,6 @@
 #include "src/net/san.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -45,13 +46,20 @@ void San::LogEvent(SanEvent::Kind kind, const Message& msg, uint64_t seq, const 
 void San::AddNode(NodeId node) { AddNode(node, config_.default_link); }
 
 void San::AddNode(NodeId node, const LinkConfig& link) {
-  NodeState state;
+  if (node < 0) {
+    return;
+  }
+  if (static_cast<size_t>(node) >= nodes_.size()) {
+    nodes_.resize(static_cast<size_t>(node) + 1);
+  }
+  NodeState& state = nodes_[static_cast<size_t>(node)];
   state.egress = std::make_unique<Link>(StrFormat("n%d.egress", node), link);
   state.ingress = std::make_unique<Link>(StrFormat("n%d.ingress", node), link);
-  nodes_[node] = std::move(state);
+  state.up = true;
+  state.partition_group = 0;
 }
 
-bool San::HasNode(NodeId node) const { return nodes_.count(node) > 0; }
+bool San::HasNode(NodeId node) const { return GetNode(node) != nullptr; }
 
 void San::SetNodeLinkConfig(NodeId node, const LinkConfig& link) {
   NodeState* state = GetNode(node);
@@ -72,21 +80,23 @@ Link* San::ingress(NodeId node) {
 }
 
 San::NodeState* San::GetNode(NodeId node) {
-  auto it = nodes_.find(node);
-  return it == nodes_.end() ? nullptr : &it->second;
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+    return nullptr;
+  }
+  NodeState& state = nodes_[static_cast<size_t>(node)];
+  return state.exists() ? &state : nullptr;
 }
 
 const San::NodeState* San::GetNode(NodeId node) const {
-  auto it = nodes_.find(node);
-  return it == nodes_.end() ? nullptr : &it->second;
+  return const_cast<San*>(this)->GetNode(node);
 }
 
 void San::Bind(const Endpoint& ep, MessageHandler handler) {
-  handlers_[ep] = std::move(handler);
+  handlers_.Set(PackEndpoint(ep), std::move(handler));
 }
 
 void San::Unbind(const Endpoint& ep) {
-  handlers_.erase(ep);
+  handlers_.Erase(PackEndpoint(ep));
   // Tear down cached connections touching this endpoint so the next sender pays
   // setup again and dead-process sends can fail fast.
   for (auto it = connections_.begin(); it != connections_.end();) {
@@ -96,12 +106,18 @@ void San::Unbind(const Endpoint& ep) {
       ++it;
     }
   }
-  for (auto& [group, members] : groups_) {
-    members.erase({ep.node, ep.port});
+  std::pair<NodeId, Port> member{ep.node, ep.port};
+  for (GroupState& group : groups_) {
+    auto it = std::lower_bound(group.members.begin(), group.members.end(), member);
+    if (it != group.members.end() && *it == member) {
+      group.members.erase(it);
+    }
   }
 }
 
-bool San::IsBound(const Endpoint& ep) const { return handlers_.count(ep) > 0; }
+bool San::IsBound(const Endpoint& ep) const {
+  return handlers_.Find(PackEndpoint(ep)) != nullptr;
+}
 
 void San::Send(Message msg, SendOptions opts) {
   msg.sent_at = sim_->now();
@@ -141,7 +157,12 @@ void San::Send(Message msg, SendOptions opts) {
 
 void San::DeliverToNode(Message msg, SimTime arrival, bool setup, SendOptions opts,
                         uint64_t seq) {
-  sim_->ScheduleAt(arrival, [this, msg = std::move(msg), setup, opts = std::move(opts), seq] {
+  // Both hop lambdas are `mutable` and hand the Message onward by move: one
+  // in-flight message performs zero Message copies and zero payload-refcount
+  // round-trips between Send() and the handler. Their capture sets are sized to
+  // stay within SimCallback's inline storage — growing either is a perf bug.
+  sim_->ScheduleAt(arrival, [this, msg = std::move(msg), setup, opts = std::move(opts),
+                             seq]() mutable {
     NodeState* src_node = GetNode(msg.src.node);
     NodeState* dst_node = GetNode(msg.dst.node);
     bool reliable = msg.transport == Transport::kReliable;
@@ -165,7 +186,10 @@ void San::DeliverToNode(Message msg, SimTime arrival, bool setup, SendOptions op
     if (setup) {
       deliver_at += config_.tcp_setup_cost;
     }
-    sim_->ScheduleAt(deliver_at, [this, msg, opts, seq] { FinalDeliver(msg, opts, seq); });
+    sim_->ScheduleAt(deliver_at,
+                     [this, msg = std::move(msg), opts = std::move(opts), seq]() mutable {
+                       FinalDeliver(msg, opts, seq);
+                     });
   });
 }
 
@@ -176,8 +200,8 @@ void San::FinalDeliver(const Message& msg, const SendOptions& opts, uint64_t seq
     LogEvent(SanEvent::Kind::kDrop, msg, seq, "unreachable");
     return;
   }
-  auto it = handlers_.find(msg.dst);
-  if (it == handlers_.end()) {
+  const MessageHandler* bound = handlers_.Find(PackEndpoint(msg.dst));
+  if (bound == nullptr) {
     if (msg.transport == Transport::kReliable) {
       ++reliable_failed_fast_;
       if (ctr_failed_fast_ != nullptr) ctr_failed_fast_->Increment();
@@ -195,35 +219,55 @@ void San::FinalDeliver(const Message& msg, const SendOptions& opts, uint64_t seq
   if (ctr_delivered_ != nullptr) ctr_delivered_->Increment();
   LogEvent(SanEvent::Kind::kDeliver, msg, seq, "");
   // Copy the handler: the callee may unbind (e.g., crash) during handling.
-  MessageHandler handler = it->second;
+  MessageHandler handler = *bound;
   handler(msg);
 }
 
 void San::JoinGroup(McastGroup group, const Endpoint& ep) {
-  groups_[group].insert({ep.node, ep.port});
+  if (group < 0) {
+    return;
+  }
+  if (static_cast<size_t>(group) >= groups_.size()) {
+    groups_.resize(static_cast<size_t>(group) + 1);
+  }
+  auto& members = groups_[static_cast<size_t>(group)].members;
+  std::pair<NodeId, Port> member{ep.node, ep.port};
+  auto it = std::lower_bound(members.begin(), members.end(), member);
+  if (it == members.end() || *it != member) {
+    members.insert(it, member);
+  }
 }
 
 void San::LeaveGroup(McastGroup group, const Endpoint& ep) {
-  auto it = groups_.find(group);
-  if (it != groups_.end()) {
-    it->second.erase({ep.node, ep.port});
+  if (group < 0 || static_cast<size_t>(group) >= groups_.size()) {
+    return;
+  }
+  auto& members = groups_[static_cast<size_t>(group)].members;
+  std::pair<NodeId, Port> member{ep.node, ep.port};
+  auto it = std::lower_bound(members.begin(), members.end(), member);
+  if (it != members.end() && *it == member) {
+    members.erase(it);
   }
 }
 
 size_t San::GroupSize(McastGroup group) const {
-  auto it = groups_.find(group);
-  return it == groups_.end() ? 0 : it->second.size();
+  if (group < 0 || static_cast<size_t>(group) >= groups_.size()) {
+    return 0;
+  }
+  return groups_[static_cast<size_t>(group)].members.size();
 }
 
 void San::SendMulticast(McastGroup group, Message msg) {
-  auto drop = mcast_drop_until_.find(group);
-  if (drop != mcast_drop_until_.end()) {
-    if (sim_->now() < drop->second) {
+  GroupState* gs = (group >= 0 && static_cast<size_t>(group) < groups_.size())
+                       ? &groups_[static_cast<size_t>(group)]
+                       : nullptr;
+  if (gs != nullptr && gs->drop_until != 0) {
+    if (sim_->now() < gs->drop_until) {
       ++multicast_suppressed_;
       if (ctr_multicast_suppressed_ != nullptr) ctr_multicast_suppressed_->Increment();
       return;
     }
-    mcast_drop_until_.erase(drop);  // Window elapsed.
+    gs->drop_until = 0;  // Window elapsed.
   }
   msg.sent_at = sim_->now();
   msg.transport = Transport::kDatagram;
@@ -233,8 +277,7 @@ void San::SendMulticast(McastGroup group, Message msg) {
     CountLost();
     return;
   }
-  auto it = groups_.find(group);
-  if (it == groups_.end() || it->second.empty()) {
+  if (gs == nullptr || gs->members.empty()) {
     return;
   }
   // One egress transmission; the switch replicates to each subscriber.
@@ -244,7 +287,7 @@ void San::SendMulticast(McastGroup group, Message msg) {
     return;
   }
   SimTime arrival = *departure + src_node->egress->propagation();
-  for (const auto& [node, port] : it->second) {
+  for (const auto& [node, port] : gs->members) {
     if (node == msg.src.node && port == msg.src.port) {
       continue;  // Don't loop back to the sender.
     }
@@ -265,7 +308,7 @@ void San::SetPartition(NodeId node, int32_t partition_group) {
 }
 
 void San::HealPartitions() {
-  for (auto& [id, state] : nodes_) {
+  for (NodeState& state : nodes_) {
     state.partition_group = 0;
   }
 }
@@ -274,7 +317,7 @@ void San::HealPartition(int32_t partition_group) {
   if (partition_group == 0) {
     return;  // Group 0 is the default side; "healing" it is meaningless.
   }
-  for (auto& [id, state] : nodes_) {
+  for (NodeState& state : nodes_) {
     if (state.partition_group == partition_group) {
       state.partition_group = 0;
     }
@@ -287,7 +330,13 @@ int32_t San::PartitionGroupOf(NodeId node) const {
 }
 
 void San::DropMulticastUntil(McastGroup group, SimTime until) {
-  mcast_drop_until_[group] = until;
+  if (group < 0) {
+    return;
+  }
+  if (static_cast<size_t>(group) >= groups_.size()) {
+    groups_.resize(static_cast<size_t>(group) + 1);
+  }
+  groups_[static_cast<size_t>(group)].drop_until = until;
 }
 
 bool San::Reachable(NodeId a, NodeId b) const {
@@ -313,9 +362,10 @@ bool San::NodeUp(NodeId node) const {
 
 std::vector<NodeId> San::Nodes() const {
   std::vector<NodeId> out;
-  out.reserve(nodes_.size());
-  for (const auto& [id, state] : nodes_) {
-    out.push_back(id);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].exists()) {
+      out.push_back(static_cast<NodeId>(i));
+    }
   }
   return out;
 }

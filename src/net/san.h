@@ -10,15 +10,18 @@
 //     link saturation these are dropped, reproducing §4.6's finding that a 10 Mb/s
 //     SAN loses the manager's control traffic under load.
 //   - Network partitions (§2.2.4's "workers lost because of a SAN partition").
+//
+// Routing state is kept flat for delivery speed (DESIGN.md §12): node state is a
+// dense vector indexed by NodeId, multicast groups a dense vector of *sorted*
+// member lists (sorted order makes fan-out deterministic), and the per-endpoint
+// handler table an open-addressing FlatMap keyed by the packed (node, port)
+// pair. Every per-hop lambda moves the Message through rather than copying it.
 
 #ifndef SRC_NET_SAN_H_
 #define SRC_NET_SAN_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <set>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -27,6 +30,7 @@
 #include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
+#include "src/util/flat_map.h"
 
 namespace sns {
 
@@ -77,7 +81,8 @@ class San {
   // --- Multicast ------------------------------------------------------------
   void JoinGroup(McastGroup group, const Endpoint& ep);
   void LeaveGroup(McastGroup group, const Endpoint& ep);
-  // Best-effort delivery to every subscriber except the sender itself.
+  // Best-effort delivery to every subscriber except the sender itself, in
+  // ascending (node, port) order.
   void SendMulticast(McastGroup group, Message msg);
   size_t GroupSize(McastGroup group) const;
 
@@ -121,11 +126,20 @@ class San {
   Simulator* sim() { return sim_; }
 
  private:
+  // Dense per-node slot; a slot with no Link objects is "node not added".
   struct NodeState {
     std::unique_ptr<Link> egress;
     std::unique_ptr<Link> ingress;
     bool up = true;
     int32_t partition_group = 0;
+    bool exists() const { return egress != nullptr; }
+  };
+
+  // Dense per-group slot. Members are kept sorted so multicast fan-out order is
+  // deterministic (ascending (node, port), matching the ordered-set original).
+  struct GroupState {
+    std::vector<std::pair<NodeId, Port>> members;
+    SimTime drop_until = 0;  // 0 = no active suppression window.
   };
 
   struct ConnKey {
@@ -139,6 +153,11 @@ class San {
       return h(k.src) * 1000003u ^ h(k.dst);
     }
   };
+
+  static uint64_t PackEndpoint(const Endpoint& ep) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(ep.node)) << 32) |
+           static_cast<uint32_t>(ep.port);
+  }
 
   NodeState* GetNode(NodeId node);
   const NodeState* GetNode(NodeId node) const;
@@ -162,10 +181,9 @@ class San {
 
   Simulator* sim_;
   SanConfig config_;
-  std::map<NodeId, NodeState> nodes_;
-  std::unordered_map<Endpoint, MessageHandler, EndpointHash> handlers_;
-  std::map<McastGroup, std::set<std::pair<NodeId, Port>>> groups_;
-  std::map<McastGroup, SimTime> mcast_drop_until_;
+  std::vector<NodeState> nodes_;    // Indexed by NodeId.
+  std::vector<GroupState> groups_;  // Indexed by McastGroup.
+  FlatMap<uint64_t, MessageHandler> handlers_;  // Keyed by PackEndpoint().
   std::unordered_set<ConnKey, ConnKeyHash> connections_;
 
   int64_t messages_delivered_ = 0;

@@ -1,0 +1,120 @@
+// Move-only callable with inline storage, used for simulator event callbacks.
+//
+// The simulator schedules hundreds of millions of events per run; std::function
+// heap-allocates any capture larger than its tiny SBO (16 bytes on libstdc++),
+// which makes every scheduled event a malloc/free pair. SimCallback keeps
+// captures up to kInlineCapacity bytes inside the event record itself (the
+// records live in the simulator's slab, so a small-capture event performs zero
+// allocations end to end) and falls back to the heap only for oversized
+// captures. The capacity is sized so the SAN's per-hop delivery lambdas — which
+// capture a whole Message — stay inline; see src/net/san.cc.
+//
+// Unlike std::function it is move-only (so events can own move-only state) and
+// invokes the target as non-const (so `mutable` lambdas can move their captures
+// onward, e.g. handing a Message to the next delivery hop without copying).
+
+#ifndef SRC_SIM_CALLBACK_H_
+#define SRC_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sns {
+
+class SimCallback {
+ public:
+  // Large enough for the SAN delivery-hop lambdas (Message + SendOptions + a
+  // couple of scalars); small lambdas waste the tail, oversized ones heap-spill.
+  static constexpr size_t kInlineCapacity = 160;
+
+  SimCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SimCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SimCallback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineCapacity &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &InlineVtable<D>::kOps;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapVtable<D>::kOps;
+    }
+  }
+
+  SimCallback(SimCallback&& other) noexcept { MoveFrom(std::move(other)); }
+  SimCallback& operator=(SimCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  SimCallback(const SimCallback&) = delete;
+  SimCallback& operator=(const SimCallback&) = delete;
+
+  ~SimCallback() { Reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // Precondition: holds a target (the simulator never invokes an empty slot).
+  void operator()() { ops_->invoke(buf_); }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* buf);
+    void (*move)(void* dst, void* src) noexcept;  // src is destroyed.
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <typename D>
+  struct InlineVtable {
+    static D* Get(void* buf) noexcept { return std::launder(reinterpret_cast<D*>(buf)); }
+    static void Invoke(void* buf) { (*Get(buf))(); }
+    static void Move(void* dst, void* src) noexcept {
+      D* s = Get(src);
+      ::new (dst) D(std::move(*s));
+      s->~D();
+    }
+    static void Destroy(void* buf) noexcept { Get(buf)->~D(); }
+    static constexpr Ops kOps = {&Invoke, &Move, &Destroy};
+  };
+
+  template <typename D>
+  struct HeapVtable {
+    static D*& Ptr(void* buf) noexcept { return *std::launder(reinterpret_cast<D**>(buf)); }
+    static void Invoke(void* buf) { (*Ptr(buf))(); }
+    static void Move(void* dst, void* src) noexcept { ::new (dst) D*(Ptr(src)); }
+    static void Destroy(void* buf) noexcept { delete Ptr(buf); }
+    static constexpr Ops kOps = {&Invoke, &Move, &Destroy};
+  };
+
+  void MoveFrom(SimCallback&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+};
+
+}  // namespace sns
+
+#endif  // SRC_SIM_CALLBACK_H_

@@ -26,6 +26,8 @@ class PeriodicTimer {
   // First firing happens `period` from now (or `initial_delay` if given).
   void Start();
   void StartWithDelay(SimDuration initial_delay);
+  // Safe to call at any point, including from inside the callback: Cancel() on
+  // an id that already fired is a guaranteed no-op (see Simulator::Cancel).
   void Stop();
   bool running() const { return pending_ != kInvalidEventId; }
 

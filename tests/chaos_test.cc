@@ -76,6 +76,30 @@ TEST(ChaosCampaignTest, TwentySeededSchedulesHoldAllInvariants) {
   EXPECT_GT(total_faults, 20) << "campaign barely injected anything";
 }
 
+// Golden replay: pins the exact event sequence of the simulator core across
+// rewrites. The trace below was captured on the pre-wheel binary-heap engine
+// (seed 0x601D, this SmokeConfig) via tools/dump_chaos_trace; the timer-wheel
+// core must reproduce it byte for byte — any divergence means event ordering
+// changed, which breaks replay-based debugging across versions. Regenerate with
+// tools/dump_chaos_trace ONLY for an intended behavior change, and say so in
+// the commit message.
+TEST(ChaosCampaignTest, ReplayMatchesGoldenCensusTrace) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  FaultSchedule schedule = GenerateSchedule(0x601D, SmokeConfig().gen);
+  ChaosRunResult run = RunSchedule(schedule, SmokeConfig());
+  EXPECT_TRUE(run.passed()) << run.Describe() << run.trace;
+  const std::string kGolden =
+      "t=0:00:10.000 managers=1 epoch=1\n"
+      "t=0:00:28.500 managers=2 epoch=2\n"
+      "t=0:00:40.000 managers=1 epoch=2\n"
+      "t=0:00:15.791 partition group 1 (3 nodes)\n"
+      "t=0:00:24.757 partition group 2 (1 nodes)\n"
+      "t=0:00:29.176 heal group 1\n"
+      "t=0:00:38.679 heal group 2\n"
+      "final managers=1 epoch=2 demotions=1\n";
+  EXPECT_EQ(run.trace, kGolden);
+}
+
 TEST(ChaosCampaignTest, ReplayIsDeterministic) {
   Logger::Get().set_min_level(LogLevel::kNone);
   FaultSchedule schedule = GenerateSchedule(0xD0D0, SmokeConfig().gen);

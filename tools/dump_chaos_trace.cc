@@ -1,0 +1,52 @@
+// Prints the deterministic event/census trace of one fixed-seed chaos run.
+//
+// Used to (re)generate the golden trace embedded in
+// tests/chaos_test.cc::ReplayMatchesGoldenCensusTrace, which pins the simulator
+// core: any change to event ordering — scheduler rewrite, timer semantics, SAN
+// delivery order — shows up as a trace diff here before it shows up as a
+// hard-to-debug invariant failure. Regenerate (and review the diff!) only when a
+// behavior change is intended:
+//
+//   ./tools/dump_chaos_trace            # default golden seed 0xG0LD (0x601D)
+//   ./tools/dump_chaos_trace <seed>     # any other seed, hex or decimal
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/chaos/campaign.h"
+#include "src/util/logging.h"
+
+namespace sns {
+namespace {
+
+// Mirror of tests/chaos_test.cc::SmokeConfig — the golden trace must be produced
+// under the exact same campaign configuration the test replays.
+CampaignConfig GoldenConfig() {
+  CampaignConfig config;
+  config.gen.horizon = Seconds(30);
+  config.gen.min_events = 2;
+  config.gen.max_events = 5;
+  config.gen.min_outage = Seconds(5);
+  config.gen.max_outage = Seconds(15);
+  config.warmup = Seconds(10);
+  config.quiesce_settle = Seconds(20);
+  return config;
+}
+
+}  // namespace
+}  // namespace sns
+
+int main(int argc, char** argv) {
+  uint64_t seed = 0x601D;
+  if (argc > 1) {
+    seed = std::strtoull(argv[1], nullptr, 0);
+  }
+  sns::Logger::Get().set_min_level(sns::LogLevel::kNone);
+  sns::CampaignConfig config = sns::GoldenConfig();
+  sns::FaultSchedule schedule = sns::GenerateSchedule(seed, config.gen);
+  sns::ChaosRunResult result = sns::RunSchedule(schedule, config);
+  std::printf("schedule:\n%s", schedule.ToScript().c_str());
+  std::printf("passed: %s\n", result.passed() ? "yes" : "no");
+  std::printf("trace:\n%s", result.trace.c_str());
+  return result.passed() ? 0 : 1;
+}
