@@ -27,6 +27,7 @@ TranSendOptions ChaosOptions(const CampaignConfig& config) {
   options.topology.front_ends = config.front_ends;
   options.topology.cache_nodes = config.cache_nodes;
   options.sns.manager_epoch_fencing = config.epoch_fencing;
+  options.sns.cache_replication = config.cache_replication;
   return options;
 }
 

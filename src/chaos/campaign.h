@@ -36,6 +36,9 @@ struct CampaignConfig {
   int worker_pool_nodes = 6;
   int front_ends = 2;
   int cache_nodes = 2;
+  // R-way cache replication: campaigns run with R=2 so every schedule exercises
+  // replica-chain rebalancing and the replica-chain-convergence invariant.
+  int cache_replication = 2;
   int url_count = 40;
 };
 

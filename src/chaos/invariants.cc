@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "src/sns/messages.h"
+#include "src/store/consistent_hash.h"
 #include "src/util/strings.h"
 
 namespace sns {
@@ -138,6 +140,66 @@ InvariantReport CheckInvariantsAtQuiesce(SnsSystem* system,
               StrFormat("fe %d ring %s != live caches %s", fe->fe_index(),
                         DescribeEndpointSet(ring_set).c_str(),
                         DescribeEndpointSet(live_cache_set).c_str()));
+    }
+  }
+
+  // 5. Replica-chain convergence across the cache tier.
+  std::vector<CacheNodeProcess*> caches = LiveCacheNodeProcesses(system);
+  for (CacheNodeProcess* cache : caches) {
+    auto view = EndpointSet(cache->ring_members());
+    if (view != live_cache_set) {
+      violate("replica-chain-convergence",
+              StrFormat("cache n%d membership view %s != live caches %s", cache->node(),
+                        DescribeEndpointSet(view).c_str(),
+                        DescribeEndpointSet(live_cache_set).c_str()));
+    }
+    if (cache->rebalance_active()) {
+      violate("replica-chain-convergence",
+              StrFormat("cache n%d rebalance still active at quiesce", cache->node()));
+    }
+  }
+
+  // Canonical chains from the live membership, with the same member encoding and
+  // vnode count every node uses, so this recomputes exactly what they computed.
+  const SnsConfig& config = system->config();
+  ConsistentHashRing canonical(config.cache_ring_vnodes);
+  for (const Endpoint& ep : cache_eps) {
+    canonical.AddMember(CacheRingMemberId(ep));
+  }
+  size_t r = config.cache_replication > 0 ? static_cast<size_t>(config.cache_replication)
+                                          : size_t{1};
+  // Completeness (every chain member holds the key) is only decidable if no node
+  // ever evicted or rejected an entry: capacity pressure legitimately leaves
+  // holes. Orphans (holding a key outside one's chain) are a violation always.
+  bool lossless = true;
+  for (CacheNodeProcess* cache : caches) {
+    if (cache->evictions() > 0 || cache->rejected() > 0) {
+      lossless = false;
+    }
+  }
+  for (CacheNodeProcess* cache : caches) {
+    int64_t self = CacheRingMemberId(cache->endpoint());
+    for (const std::string& key : cache->CacheKeys()) {
+      std::vector<int64_t> chain = canonical.LookupN(key, r);
+      if (std::find(chain.begin(), chain.end(), self) == chain.end()) {
+        violate("replica-chain-convergence",
+                StrFormat("cache n%d holds orphan key '%s' outside its chain",
+                          cache->node(), key.c_str()));
+        continue;
+      }
+      if (!lossless) continue;
+      for (int64_t member : chain) {
+        if (member == self) continue;
+        Endpoint peer_ep = CacheRingMemberEndpoint(member);
+        for (CacheNodeProcess* peer : caches) {
+          if (peer->endpoint().node == peer_ep.node &&
+              peer->endpoint().port == peer_ep.port && !peer->HasKey(key)) {
+            violate("replica-chain-convergence",
+                    StrFormat("key '%s' missing from chain member n%d (held by n%d)",
+                              key.c_str(), peer->node(), cache->node()));
+          }
+        }
+      }
     }
   }
 

@@ -15,6 +15,14 @@
 //      rebuilt from beacons and load reports, §3.1.8).
 //   4. Every front end's cache-ring membership equals the live cache nodes, so a
 //      node join/leave remapped only its ring arcs and the ring healed (§3.1.5).
+//   5. The replicated cache tier converged: every cache node's own membership view
+//      matches the live cache set, no rebalance pass is still running, no node
+//      holds a key its current replica chain does not assign to it (orphan-free),
+//      and — when no entry was ever evicted or rejected, so completeness is
+//      decidable — every member of a key's chain holds the key (full
+//      replication). This is the R-way extension of the paper's "cached data can
+//      be thrown away" guarantee: after churn the survivors re-converge to R
+//      copies of everything that fits.
 
 #ifndef SRC_CHAOS_INVARIANTS_H_
 #define SRC_CHAOS_INVARIANTS_H_

@@ -101,10 +101,30 @@ struct SnsConfig {
   // mod-N partitioning so a node join/leave remaps only ~1/N of the key space.
   int cache_ring_vnodes = 64;
 
+  // --- Cache replication (Gray's "packs"; beyond the paper's single-copy tier) -----
+  // Replica factor R for the cache volume: front ends write each put to the first
+  // R distinct nodes clockwise from the key's ring position (the key's replica
+  // chain) and read from the chain head, failing over down the chain on a miss or
+  // timeout; a hit at a non-head replica triggers read-repair back up the chain.
+  // R=1 reproduces the paper's single-copy tier, where "a crashed cache node
+  // simply loses its partition".
+  int cache_replication = 1;
+  // Token-bucket cap on each cache node's rebalance traffic (bytes of cache
+  // content pushed per second, plus an allowed burst) so a membership change
+  // cannot starve request traffic on the SAN.
+  double cache_rebalance_bytes_per_s = 4.0 * 1024 * 1024;
+  double cache_rebalance_burst_bytes = 512.0 * 1024;
+  // Keys examined per rebalancer scheduling slice; bounds per-instant work so a
+  // scan of a large partition spreads across sim time.
+  int cache_rebalance_batch_keys = 32;
+
   // --- Front end (§3.1.1, §4.4) ----------------------------------------------------
   int fe_thread_pool_size = 400;  // "a single front-end of about 400 threads".
   // Per-request front-end CPU (connection shepherding, dispatch logic).
   SimDuration fe_cpu_per_request = Milliseconds(1.0);
+  // Byte capacity of the front end's in-process user-profile cache. Bounded (LRU)
+  // so millions of distinct users cannot grow FE memory without limit.
+  int64_t fe_profile_cache_bytes = 4 * 1024 * 1024;
 
   // --- Manager --------------------------------------------------------------------
   // CPU charged to the manager's node per load announcement processed; drives the

@@ -63,7 +63,9 @@ FrontEndProcess::FrontEndProcess(const SnsConfig& config, const FrontEndOptions&
       logic_(std::move(logic)),
       launcher_(launcher),
       rng_(options.seed ^ (0x9E3779B9ULL * static_cast<uint64_t>(options.fe_index + 1))),
-      stub_(config, &rng_) {}
+      stub_(config, &rng_),
+      profile_cache_(config.fe_profile_cache_bytes,
+                     [](const UserProfile& p) { return p.WireSize(); }) {}
 
 void FrontEndProcess::OnStart() {
   std::string prefix = StrFormat("fe.%d.", options_.fe_index);
@@ -76,8 +78,12 @@ void FrontEndProcess::OnStart() {
   deadline_expired_ = metrics()->GetCounter(prefix + "deadline_expired");
   retries_backoff_ = metrics()->GetCounter(prefix + "retries_backoff");
   ring_remaps_ = metrics()->GetCounter(prefix + "ring_remaps");
+  cache_failovers_ = metrics()->GetCounter(prefix + "cache_failover_reads");
+  read_repairs_ = metrics()->GetCounter(prefix + "read_repairs");
+  replica_puts_ = metrics()->GetCounter(prefix + "cache_replica_puts");
   active_gauge_ = metrics()->GetGauge(prefix + "active_requests");
   queued_gauge_ = metrics()->GetGauge(prefix + "queued_requests");
+  profile_cache_gauge_ = metrics()->GetGauge(prefix + "profile_cache_bytes");
   latency_hist_ = metrics()->GetHistogram(prefix + "latency_s", 0.0, 30.0, 3000);
   JoinGroup(kGroupManagerBeacon);
   heartbeat_timer_ =
@@ -394,9 +400,9 @@ SimDuration FrontEndProcess::RemainingBudget(const RequestContext* ctx) const {
 
 void FrontEndProcess::DoGetProfile(RequestContext* ctx, RequestContext::ProfileCb cb) {
   const std::string& user = ctx->request_->user_id;
-  auto cached = profile_cache_.find(user);
-  if (cached != profile_cache_.end()) {
-    cb(ctx, true, cached->second);
+  std::optional<UserProfile> cached = profile_cache_.Get(user);
+  if (cached.has_value()) {
+    cb(ctx, true, *cached);
     return;
   }
   const Endpoint& db = stub_.profile_db();
@@ -456,7 +462,8 @@ void FrontEndProcess::HandleProfileReply(const Message& msg) {
     return;
   }
   if (reply.found) {
-    profile_cache_[reply.profile.user_id()] = reply.profile;
+    profile_cache_.Put(reply.profile.user_id(), reply.profile);
+    profile_cache_gauge_->Set(static_cast<double>(profile_cache_.used_bytes()));
     op.cb(ctx, true, reply.profile);
   } else {
     op.cb(ctx, false, UserProfile(ctx->request_->user_id));
@@ -465,7 +472,8 @@ void FrontEndProcess::HandleProfileReply(const Message& msg) {
 
 void FrontEndProcess::DoPutProfile(const UserProfile& profile) {
   // Write-through: update the local cache and persist to the ACID store.
-  profile_cache_[profile.user_id()] = profile;
+  profile_cache_.Put(profile.user_id(), profile);
+  profile_cache_gauge_->Set(static_cast<double>(profile_cache_.used_bytes()));
   const Endpoint& db = stub_.profile_db();
   if (!db.valid()) {
     return;
@@ -491,21 +499,41 @@ std::optional<Endpoint> FrontEndProcess::CacheNodeForKey(const std::string& key)
 
 void FrontEndProcess::DoCacheGet(RequestContext* ctx, const std::string& key,
                                  RequestContext::CacheCb cb) {
-  auto node = CacheNodeForKey(key);
+  std::vector<Endpoint> chain = stub_.CacheChainForKey(key);
   SimDuration budget = RemainingBudget(ctx);
-  if (!node.has_value() || budget <= 0) {
+  if (chain.empty() || budget <= 0) {
     cb(ctx, false, nullptr);  // No time to probe == miss (caching is an optimization).
     return;
   }
+  PendingCacheOp op;
+  op.request_id = ctx->id_;
+  op.key = key;
+  op.chain = std::move(chain);
+  op.attempt = 0;
+  op.cb = std::move(cb);
+  SendCacheProbe(std::move(op));
+}
+
+void FrontEndProcess::SendCacheProbe(PendingCacheOp op) {
+  RequestContext* ctx = FindContext(op.request_id);
+  if (ctx == nullptr || ctx->responded_) {
+    return;
+  }
+  SimDuration budget = RemainingBudget(ctx);
+  if (budget <= 0) {
+    // Out of deadline budget mid-chain: the request machinery will convert the
+    // late completion anyway; report the op as a miss now.
+    op.cb(ctx, false, nullptr);
+    return;
+  }
+  // Fresh op id per probe: a late reply from an abandoned attempt must not be
+  // taken for the current one.
   uint64_t op_id = next_id_++;
   auto payload = std::make_shared<CacheGetPayload>();
   payload->op_id = op_id;
-  payload->key = key;
+  payload->key = op.key;
   payload->reply_to = endpoint();
   payload->deadline = ctx->deadline_;
-  PendingCacheOp op;
-  op.request_id = ctx->id_;
-  op.cb = std::move(cb);
   op.trace = ChildSpan(ctx->trace_);
   op.started = sim()->now();
   op.timeout = After(CapToBudget(config_.cache_timeout, budget), [this, op_id] {
@@ -513,16 +541,11 @@ void FrontEndProcess::DoCacheGet(RequestContext* ctx, const std::string& key,
     if (it == pending_cache_.end()) {
       return;
     }
-    PendingCacheOp pending = std::move(it->second);
-    pending_cache_.erase(it);
-    RecordSpan(pending.trace, "fe.cache_get", pending.started, "timeout");
-    RequestContext* ctx2 = FindContext(pending.request_id);
-    if (ctx2 != nullptr && !ctx2->responded_) {
-      pending.cb(ctx2, false, nullptr);  // Timeout == miss (caching is an optimization).
-    }
+    RecordSpan(it->second.trace, "fe.cache_get", it->second.started, "timeout");
+    CacheProbeFailed(op_id);
   });
   Message msg;
-  msg.dst = *node;
+  msg.dst = op.chain[op.attempt];
   msg.type = kMsgCacheGet;
   msg.transport = Transport::kReliable;
   msg.size_bytes = WireSizeOf(*payload);
@@ -535,47 +558,97 @@ void FrontEndProcess::DoCacheGet(RequestContext* ctx, const std::string& key,
   Send(std::move(msg), std::move(opts));
 }
 
-void FrontEndProcess::HandleCacheReply(const Message& msg) {
-  const auto& reply = static_cast<const CacheReplyPayload&>(*msg.payload);
-  auto it = pending_cache_.find(reply.op_id);
+void FrontEndProcess::CacheProbeFailed(uint64_t op_id) {
+  auto it = pending_cache_.find(op_id);
   if (it == pending_cache_.end()) {
     return;
   }
   PendingCacheOp op = std::move(it->second);
   pending_cache_.erase(it);
+  if (op.attempt + 1 < op.chain.size()) {
+    // Fail over down the replica chain: the next replica may hold the key (the
+    // head may be dead, cold after a membership change, or have evicted it).
+    ++op.attempt;
+    cache_failovers_->Increment();
+    SendCacheProbe(std::move(op));
+    return;
+  }
+  RequestContext* ctx = FindContext(op.request_id);
+  if (ctx != nullptr && !ctx->responded_) {
+    op.cb(ctx, false, nullptr);  // Whole chain missed or timed out.
+  }
+}
+
+void FrontEndProcess::HandleCacheReply(const Message& msg) {
+  const auto& reply = static_cast<const CacheReplyPayload&>(*msg.payload);
+  auto it = pending_cache_.find(reply.op_id);
+  if (it == pending_cache_.end()) {
+    return;  // Probe already abandoned (timeout advanced the chain).
+  }
+  if (!reply.hit) {
+    RecordSpan(it->second.trace, "fe.cache_get", it->second.started, "miss");
+    CacheProbeFailed(reply.op_id);
+    return;
+  }
+  PendingCacheOp op = std::move(it->second);
+  pending_cache_.erase(it);
   CancelTimer(op.timeout);
-  RecordSpan(op.trace, "fe.cache_get", op.started, reply.hit ? "hit" : "miss");
+  RecordSpan(op.trace, "fe.cache_get", op.started, "hit");
   RequestContext* ctx = FindContext(op.request_id);
   if (ctx == nullptr || ctx->responded_) {
     return;
   }
-  op.cb(ctx, reply.hit, reply.content);
+  if (op.attempt > 0 && reply.content != nullptr) {
+    // Read-repair: a non-head replica answered, so every replica earlier in the
+    // chain is missing the key (miss, eviction, or death — a put to a dead
+    // endpoint is dropped by the SAN). Re-put so the next read hits the head.
+    read_repairs_->Increment();
+    for (size_t i = 0; i < op.attempt; ++i) {
+      auto repair = std::make_shared<CachePutPayload>();
+      repair->key = op.key;
+      repair->content = reply.content;
+      SendCachePutTo(op.chain[i], std::move(repair), ChildSpan(ctx->trace_));
+    }
+  }
+  op.cb(ctx, true, reply.content);
+}
+
+void FrontEndProcess::SendCachePutTo(const Endpoint& dst,
+                                     std::shared_ptr<CachePutPayload> payload,
+                                     const TraceContext& trace) {
+  Message msg;
+  msg.dst = dst;
+  msg.type = kMsgCachePut;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = WireSizeOf(*payload);
+  msg.payload = std::move(payload);
+  msg.trace = trace;
+  San::SendOptions opts;
+  opts.force_new_connection = true;
+  Send(std::move(msg), std::move(opts));
 }
 
 void FrontEndProcess::DoCachePut(RequestContext* ctx, const std::string& key,
                                  ContentPtr content) {
-  auto node = CacheNodeForKey(key);
-  if (!node.has_value() || content == nullptr) {
+  std::vector<Endpoint> chain = stub_.CacheChainForKey(key);
+  if (chain.empty() || content == nullptr) {
     return;
   }
-  auto payload = std::make_shared<CachePutPayload>();
-  payload->key = key;
-  payload->content = std::move(content);
-  // Fire-and-forget: record a zero-length marker at the send so the put shows up
-  // in the trace without ever appearing on the request's critical path (the
-  // server-side cache.put child clips to zero inside the analyzer's walk).
+  // Fire-and-forget to every replica in the chain: record a zero-length marker
+  // at the send so the puts show up in the trace without ever appearing on the
+  // request's critical path (the server-side cache.put children clip to zero
+  // inside the analyzer's walk).
   TraceContext put_ctx = ChildSpan(ctx->trace_);
   RecordSpan(put_ctx, "fe.cache_put", sim()->now(), "ok");
-  Message msg;
-  msg.dst = *node;
-  msg.type = kMsgCachePut;
-  msg.transport = Transport::kReliable;
-  msg.size_bytes = WireSizeOf(*payload);
-  msg.payload = payload;
-  msg.trace = put_ctx;
-  San::SendOptions opts;
-  opts.force_new_connection = true;
-  Send(std::move(msg), std::move(opts));
+  for (size_t i = 0; i < chain.size(); ++i) {
+    auto payload = std::make_shared<CachePutPayload>();
+    payload->key = key;
+    payload->content = content;
+    if (i > 0) {
+      replica_puts_->Increment();
+    }
+    SendCachePutTo(chain[i], std::move(payload), put_ctx);
+  }
 }
 
 // ---------- Origin fetch facility --------------------------------------------------------

@@ -32,6 +32,7 @@
 #include "src/sns/manager_stub.h"
 #include "src/sns/messages.h"
 #include "src/store/consistent_hash.h"
+#include "src/store/lru_cache.h"
 #include "src/tacc/pipeline.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -146,6 +147,12 @@ class FrontEndProcess : public Process {
   int64_t deadline_expired() const { return CounterOr0(deadline_expired_); }
   int64_t retries_backoff() const { return CounterOr0(retries_backoff_); }
   int64_t ring_remaps() const { return CounterOr0(ring_remaps_); }
+  // Replicated-cache read path: probes issued past the chain head, and repairs
+  // (re-puts to replicas that missed) triggered by a non-head hit.
+  int64_t cache_failover_reads() const { return CounterOr0(cache_failovers_); }
+  int64_t read_repairs() const { return CounterOr0(read_repairs_); }
+  int64_t cache_replica_puts() const { return CounterOr0(replica_puts_); }
+  const LruCache<std::string, UserProfile>& profile_cache() const { return profile_cache_; }
   const Histogram& latency_histogram() const { return *latency_hist_; }
   const std::map<std::string, int64_t>& responses_by_source() const {
     return responses_by_source_;
@@ -188,8 +195,15 @@ class FrontEndProcess : public Process {
   // self time.
   struct PendingCacheOp {
     uint64_t request_id = 0;
+    std::string key;
+    // Replica chain captured at issue time: probe chain[attempt], and on a miss
+    // or timeout fail over to the next replica. Each probe gets a fresh op id so
+    // a late reply from an abandoned attempt cannot masquerade as the current
+    // one.
+    std::vector<Endpoint> chain;
+    size_t attempt = 0;
     RequestContext::CacheCb cb;
-    TraceContext trace;
+    TraceContext trace;  // Current attempt's span.
     SimTime started = 0;
     EventId timeout = kInvalidEventId;
   };
@@ -241,6 +255,12 @@ class FrontEndProcess : public Process {
   void DoPutProfile(const UserProfile& profile);
   void DoCacheGet(RequestContext* ctx, const std::string& key, RequestContext::CacheCb cb);
   void DoCachePut(RequestContext* ctx, const std::string& key, ContentPtr content);
+  // Sends the probe for `op`'s current attempt under a fresh op id.
+  void SendCacheProbe(PendingCacheOp op);
+  // A probe missed or timed out: advance down the chain or complete as a miss.
+  void CacheProbeFailed(uint64_t op_id);
+  void SendCachePutTo(const Endpoint& dst, std::shared_ptr<CachePutPayload> payload,
+                      const TraceContext& trace);
   void DoFetch(RequestContext* ctx, const std::string& url, RequestContext::ContentCb cb);
   void DoCallWorker(RequestContext* ctx, const std::string& type,
                     std::map<std::string, std::string> args, std::vector<ContentPtr> inputs,
@@ -279,7 +299,9 @@ class FrontEndProcess : public Process {
   std::unordered_map<uint64_t, PendingProfileOp> pending_profile_;
   std::unordered_map<uint64_t, PendingFetchOp> pending_fetch_;
 
-  std::unordered_map<std::string, UserProfile> profile_cache_;  // Write-through (§3.1.4).
+  // Write-through (§3.1.4), byte-bounded: millions of distinct users must not
+  // grow FE memory without limit.
+  LruCache<std::string, UserProfile> profile_cache_;
 
   std::unique_ptr<PeriodicTimer> heartbeat_timer_;
   std::unique_ptr<PeriodicTimer> watchdog_timer_;
@@ -298,8 +320,12 @@ class FrontEndProcess : public Process {
   Counter* deadline_expired_ = nullptr;
   Counter* retries_backoff_ = nullptr;
   Counter* ring_remaps_ = nullptr;
+  Counter* cache_failovers_ = nullptr;
+  Counter* read_repairs_ = nullptr;
+  Counter* replica_puts_ = nullptr;
   Gauge* active_gauge_ = nullptr;
   Gauge* queued_gauge_ = nullptr;
+  Gauge* profile_cache_gauge_ = nullptr;
   Histogram* latency_hist_ = nullptr;  // Seconds.
   std::map<std::string, int64_t> responses_by_source_;
 };

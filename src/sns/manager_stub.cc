@@ -57,13 +57,13 @@ bool ManagerStub::OnBeacon(const ManagerBeaconPayload& beacon, SimTime now) {
   });
   for (const Endpoint& ep : cache_nodes_) {
     if (std::find(fresh.begin(), fresh.end(), ep) == fresh.end()) {
-      cache_ring_.RemoveMember(RingMemberId(ep));
+      cache_ring_.RemoveMember(CacheRingMemberId(ep));
       ++cache_membership_changes_;
     }
   }
   for (const Endpoint& ep : fresh) {
-    if (!cache_ring_.HasMember(RingMemberId(ep))) {
-      cache_ring_.AddMember(RingMemberId(ep));
+    if (!cache_ring_.HasMember(CacheRingMemberId(ep))) {
+      cache_ring_.AddMember(CacheRingMemberId(ep));
       ++cache_membership_changes_;
     }
   }
@@ -77,7 +77,20 @@ std::optional<Endpoint> ManagerStub::CacheNodeForKey(const std::string& key) con
   if (!member.has_value()) {
     return std::nullopt;
   }
-  return RingMemberEndpoint(*member);
+  return CacheRingMemberEndpoint(*member);
+}
+
+std::vector<Endpoint> ManagerStub::CacheChainForKey(const std::string& key) const {
+  size_t r = config_.cache_replication > 0
+                 ? static_cast<size_t>(config_.cache_replication)
+                 : size_t{1};
+  std::vector<int64_t> members = cache_ring_.LookupN(key, r);
+  std::vector<Endpoint> chain;
+  chain.reserve(members.size());
+  for (int64_t m : members) {
+    chain.push_back(CacheRingMemberEndpoint(m));
+  }
+  return chain;
 }
 
 double ManagerStub::PredictedQueue(const Endpoint& worker, SimTime now) const {

@@ -81,6 +81,11 @@ class ManagerStub {
   // Cache partition owning `key` on the consistent-hash ring; nullopt when no
   // cache node is known.
   std::optional<Endpoint> CacheNodeForKey(const std::string& key) const;
+  // The key's replica chain: the first min(R, live) distinct cache nodes
+  // clockwise from the key's ring position, with R = config.cache_replication.
+  // chain[0] is the primary (== CacheNodeForKey); empty when no cache node is
+  // known. Front ends put to every chain member and read down the chain.
+  std::vector<Endpoint> CacheChainForKey(const std::string& key) const;
   // Cumulative count of cache-ring membership changes (joins + leaves), each of
   // which remaps ~1/N of the key space. Exposed so the front end can export it.
   uint64_t cache_membership_changes() const { return cache_membership_changes_; }
@@ -101,16 +106,6 @@ class ManagerStub {
     int inflight = 0;
     SimTime last_seen = 0;  // Last beacon that listed this worker.
   };
-
-  static int64_t RingMemberId(const Endpoint& ep) {
-    return static_cast<int64_t>(
-        (static_cast<uint64_t>(static_cast<uint32_t>(ep.node)) << 32) |
-        static_cast<uint32_t>(ep.port));
-  }
-  static Endpoint RingMemberEndpoint(int64_t id) {
-    return Endpoint{static_cast<NodeId>(static_cast<uint64_t>(id) >> 32),
-                    static_cast<Port>(static_cast<uint64_t>(id) & 0xFFFFFFFFULL)};
-  }
 
   SnsConfig config_;
   Rng* rng_;

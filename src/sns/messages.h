@@ -182,7 +182,23 @@ struct CacheGetPayload : Payload {
 struct CachePutPayload : Payload {
   std::string key;
   ContentPtr content;
+  // True for rebalancer migration pushes (node-to-node), so receivers can
+  // account them separately from front-end write traffic.
+  bool rebalance = false;
 };
+
+// Packs an endpoint into the int64 member id used on the cache consistent-hash
+// ring. Shared by the manager stub and the cache nodes' rebalancer so both
+// sides derive identical replica chains from the same membership list.
+inline int64_t CacheRingMemberId(const Endpoint& ep) {
+  return static_cast<int64_t>(
+      (static_cast<uint64_t>(static_cast<uint32_t>(ep.node)) << 32) |
+      static_cast<uint32_t>(ep.port));
+}
+inline Endpoint CacheRingMemberEndpoint(int64_t id) {
+  return Endpoint{static_cast<NodeId>(static_cast<uint64_t>(id) >> 32),
+                  static_cast<Port>(static_cast<uint64_t>(id) & 0xFFFFFFFFULL)};
+}
 
 struct CacheReplyPayload : Payload {
   uint64_t op_id = 0;

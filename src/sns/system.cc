@@ -78,6 +78,8 @@ void SnsSystem::Start() {
   // --- Spawn the infrastructure processes. ---
   manager_pid_ = cluster_.Spawn(
       manager_node_, std::make_unique<ManagerProcess>(config_, this, ++next_manager_epoch_));
+  // Cache nodes surface their rebalance windows in the flight recorder.
+  topology_.cache.event_log = &event_log_;
   for (int i = 0; i < topology_.cache_nodes; ++i) {
     cache_pids_.push_back(cluster_.Spawn(
         cache_nodes_[static_cast<size_t>(i)],

@@ -4,7 +4,10 @@
 
 namespace sns {
 
-uint64_t ConsistentHashRing::PointHash(int64_t member, int vnode) {
+uint64_t ConsistentHashRing::PointHash(int64_t member, int vnode) const {
+  if (point_hash_) {
+    return point_hash_(member, vnode);
+  }
   char buf[32];
   // Mix member and vnode through FNV for well-spread ring points.
   std::snprintf(buf, sizeof(buf), "%lld#%d", static_cast<long long>(member), vnode);
@@ -16,7 +19,7 @@ void ConsistentHashRing::AddMember(int64_t member) {
     return;
   }
   for (int v = 0; v < vnodes_; ++v) {
-    ring_[PointHash(member, v)] = member;
+    ring_.insert({PointHash(member, v), member});
   }
 }
 
@@ -24,12 +27,8 @@ void ConsistentHashRing::RemoveMember(int64_t member) {
   if (members_.erase(member) == 0) {
     return;
   }
-  for (auto it = ring_.begin(); it != ring_.end();) {
-    if (it->second == member) {
-      it = ring_.erase(it);
-    } else {
-      ++it;
-    }
+  for (int v = 0; v < vnodes_; ++v) {
+    ring_.erase({PointHash(member, v), member});
   }
 }
 
@@ -45,7 +44,7 @@ std::optional<int64_t> ConsistentHashRing::LookupHash(uint64_t hash) const {
   if (ring_.empty()) {
     return std::nullopt;
   }
-  auto it = ring_.lower_bound(hash);
+  auto it = ring_.lower_bound({hash, INT64_MIN});
   if (it == ring_.end()) {
     it = ring_.begin();  // Wrap around.
   }
@@ -58,7 +57,7 @@ std::vector<int64_t> ConsistentHashRing::LookupN(const std::string& key, size_t 
     return out;
   }
   uint64_t hash = Fnv1a(key);
-  auto it = ring_.lower_bound(hash);
+  auto it = ring_.lower_bound({hash, INT64_MIN});
   size_t visited = 0;
   while (out.size() < n && visited < ring_.size()) {
     if (it == ring_.end()) {

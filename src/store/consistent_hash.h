@@ -9,23 +9,31 @@
 #define SRC_STORE_CONSISTENT_HASH_H_
 
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sns {
 
 class ConsistentHashRing {
  public:
+  // Maps (member, vnode) to a ring point. Injectable so tests can force point
+  // collisions deterministically; production rings use the default FNV mix.
+  using PointHashFn = std::function<uint64_t(int64_t member, int vnode)>;
+
   // vnodes: virtual points per member; more points = smoother balance.
   explicit ConsistentHashRing(int vnodes = 64) : vnodes_(vnodes) {}
+  ConsistentHashRing(int vnodes, PointHashFn point_hash)
+      : vnodes_(vnodes), point_hash_(std::move(point_hash)) {}
 
   void AddMember(int64_t member);
   void RemoveMember(int64_t member);
   bool HasMember(int64_t member) const { return members_.count(member) > 0; }
   size_t MemberCount() const { return members_.size(); }
+  size_t PointCount() const { return ring_.size(); }
   std::vector<int64_t> Members() const;
 
   // Member owning `key`; nullopt when the ring is empty.
@@ -37,11 +45,18 @@ class ConsistentHashRing {
   std::vector<int64_t> LookupN(const std::string& key, size_t n) const;
 
  private:
-  static uint64_t PointHash(int64_t member, int vnode);
+  uint64_t PointHash(int64_t member, int vnode) const;
 
   int vnodes_;
+  PointHashFn point_hash_;  // Empty = default FNV point hash.
   std::set<int64_t> members_;
-  std::map<uint64_t, int64_t> ring_;  // point -> member
+  // Ring points ordered by (point, member). Keying on the pair makes insertion
+  // collision-safe: two members whose vnodes hash to the same point both keep
+  // their entries (deterministically tie-broken by member id), and removal
+  // erases exactly the departing member's points. A plain point->member map
+  // silently dropped one side of every collision, and RemoveMember then deleted
+  // the survivor's vnode for good.
+  std::set<std::pair<uint64_t, int64_t>> ring_;
 };
 
 }  // namespace sns

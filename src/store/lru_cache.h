@@ -48,18 +48,20 @@ class LruCache {
   bool Contains(const K& key) const { return index_.count(key) > 0; }
 
   // Inserts or replaces; evicts LRU entries until the new value fits. A value
-  // larger than the whole capacity is not cached at all.
+  // larger than the whole capacity is not cached at all — and when it would
+  // have replaced an existing entry, that entry is left untouched (the reject
+  // check must precede the erase, or the old value silently vanishes).
   void Put(const K& key, V value) {
     int64_t size = size_of_(value);
+    if (size > capacity_bytes_) {
+      ++rejected_;
+      return;
+    }
     auto it = index_.find(key);
     if (it != index_.end()) {
       used_bytes_ -= it->second->size;
       order_.erase(it->second);
       index_.erase(it);
-    }
-    if (size > capacity_bytes_) {
-      ++rejected_;
-      return;
     }
     EvictUntilFits(size);
     order_.push_front(Entry{key, std::move(value), size});
@@ -84,12 +86,22 @@ class LruCache {
     used_bytes_ = 0;
   }
 
+  // Visits every entry from most- to least-recently-used without promoting or
+  // counting hits. Lets a rebalancer scan its partition without perturbing
+  // recency order. `fn(key, value, size_bytes)` must not mutate the cache.
+  void ForEach(const std::function<void(const K&, const V&, int64_t)>& fn) const {
+    for (const Entry& e : order_) {
+      fn(e.key, e.value, e.size);
+    }
+  }
+
   size_t size() const { return index_.size(); }
   int64_t used_bytes() const { return used_bytes_; }
   int64_t capacity_bytes() const { return capacity_bytes_; }
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
   int64_t evictions() const { return evictions_; }
+  int64_t rejected() const { return rejected_; }
   double HitRate() const {
     int64_t total = hits_ + misses_;
     return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;

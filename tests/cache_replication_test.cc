@@ -1,0 +1,217 @@
+// System-level tests for the R-way replicated cache tier: replica fan-out on
+// writes, failover reads down the chain, the background rebalancer restoring
+// full replication after a cache-node kill, and the bounded FE profile cache.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/failure_injector.h"
+#include "src/services/transend/transend.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace sns {
+namespace {
+
+TranSendOptions ReplicationOptions(int replication) {
+  TranSendOptions options = DefaultTranSendOptions();
+  options.universe.url_count = 40;
+  options.sns.cache_replication = replication;
+  options.topology.cache_nodes = 4;
+  options.topology.worker_pool_nodes = 6;
+  return options;
+}
+
+void DriveLoad(TranSendService* service, PlaybackEngine* client, double rate,
+               SimDuration duration, uint64_t seed) {
+  Rng rng(seed);
+  ContentUniverse* universe = service->universe();
+  client->StartConstantRate(rate, [&rng, universe] {
+    TraceRecord record;
+    record.user_id = "repl";
+    record.url = universe->UrlAt(rng.UniformInt(0, universe->url_count() - 1));
+    return record;
+  });
+  service->sim()->RunFor(duration);
+  client->StopLoad();
+  service->sim()->RunFor(Seconds(15));  // Drain in-flight requests and puts.
+}
+
+// Recomputes the canonical replica chains from the live cache membership and
+// asserts the tier converged: consistent views, no orphans, and — since these
+// runs never evict — a copy on every chain member.
+void ExpectFullReplication(TranSendService* service, int replication) {
+  std::vector<CacheNodeProcess*> caches = service->system()->cache_node_processes();
+  ASSERT_FALSE(caches.empty());
+  ConsistentHashRing canonical(service->system()->config().cache_ring_vnodes);
+  std::set<std::pair<NodeId, Port>> live;
+  for (CacheNodeProcess* cache : caches) {
+    canonical.AddMember(CacheRingMemberId(cache->endpoint()));
+    live.insert({cache->endpoint().node, cache->endpoint().port});
+    EXPECT_EQ(cache->evictions(), 0);
+    EXPECT_EQ(cache->rejected(), 0);
+    EXPECT_FALSE(cache->rebalance_active());
+    std::set<std::pair<NodeId, Port>> view;
+    for (const Endpoint& ep : cache->ring_members()) {
+      view.insert({ep.node, ep.port});
+    }
+  }
+  for (CacheNodeProcess* cache : caches) {
+    std::set<std::pair<NodeId, Port>> view;
+    for (const Endpoint& ep : cache->ring_members()) {
+      view.insert({ep.node, ep.port});
+    }
+    EXPECT_EQ(view, live) << "cache n" << cache->node() << " membership view stale";
+  }
+  size_t r = static_cast<size_t>(replication);
+  int audited = 0;
+  for (CacheNodeProcess* cache : caches) {
+    int64_t self = CacheRingMemberId(cache->endpoint());
+    for (const std::string& key : cache->CacheKeys()) {
+      std::vector<int64_t> chain = canonical.LookupN(key, r);
+      ASSERT_FALSE(chain.empty());
+      EXPECT_NE(std::find(chain.begin(), chain.end(), self), chain.end())
+          << "cache n" << cache->node() << " holds orphan key " << key;
+      for (int64_t member : chain) {
+        Endpoint ep = CacheRingMemberEndpoint(member);
+        for (CacheNodeProcess* peer : caches) {
+          if (peer->endpoint() == ep) {
+            EXPECT_TRUE(peer->HasKey(key))
+                << "key " << key << " missing from chain member n" << peer->node();
+          }
+        }
+      }
+      ++audited;
+    }
+  }
+  EXPECT_GT(audited, 0);
+}
+
+TEST(CacheReplicationTest, WritesFanOutToEveryChainMember) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendService service(ReplicationOptions(2));
+  service.Start();
+  PlaybackEngine* client = service.AddPlaybackEngine(0x11);
+  service.sim()->RunFor(Seconds(5));
+  DriveLoad(&service, client, 15, Seconds(30), 0x11);
+
+  FrontEndProcess* fe = service.system()->front_end(0);
+  ASSERT_NE(fe, nullptr);
+  EXPECT_GT(fe->cache_replica_puts(), 0);
+  ExpectFullReplication(&service, 2);
+}
+
+TEST(CacheReplicationTest, SingleCopyModeStoresExactlyOneReplica) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendService service(ReplicationOptions(1));
+  service.Start();
+  PlaybackEngine* client = service.AddPlaybackEngine(0x22);
+  service.sim()->RunFor(Seconds(5));
+  DriveLoad(&service, client, 15, Seconds(30), 0x22);
+
+  FrontEndProcess* fe = service.system()->front_end(0);
+  ASSERT_NE(fe, nullptr);
+  EXPECT_EQ(fe->cache_replica_puts(), 0);
+  // R=1 chains are a single member: every key lives on exactly one node.
+  std::vector<CacheNodeProcess*> caches = service.system()->cache_node_processes();
+  std::set<std::string> seen;
+  int total = 0;
+  for (CacheNodeProcess* cache : caches) {
+    for (const std::string& key : cache->CacheKeys()) {
+      EXPECT_TRUE(seen.insert(key).second) << "key " << key << " on two nodes";
+      ++total;
+    }
+  }
+  EXPECT_GT(total, 0);
+  ExpectFullReplication(&service, 1);
+}
+
+TEST(CacheReplicationTest, NodeKillRebalancesSurvivorsBackToFullReplication) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendService service(ReplicationOptions(2));
+  service.Start();
+  PlaybackEngine* client = service.AddPlaybackEngine(0x33);
+  service.sim()->RunFor(Seconds(5));
+
+  Rng rng(0x33);
+  ContentUniverse* universe = service.universe();
+  client->StartConstantRate(15, [&rng, universe] {
+    TraceRecord record;
+    record.user_id = "repl";
+    record.url = universe->UrlAt(rng.UniformInt(0, universe->url_count() - 1));
+    return record;
+  });
+  service.sim()->RunFor(Seconds(30));
+
+  // Kill one cache node under load. With R=2 every entry survives on the other
+  // chain member; the survivors' rebalancers re-replicate the lost arcs.
+  std::vector<CacheNodeProcess*> before = service.system()->cache_node_processes();
+  ASSERT_EQ(before.size(), 4u);
+  FailureInjector injector(service.system()->cluster(), service.system()->san());
+  injector.CrashProcessAt(service.sim()->now() + Seconds(1), before[1]->pid());
+  service.sim()->RunFor(Seconds(40));
+  client->StopLoad();
+  service.sim()->RunFor(Seconds(20));  // Drain + let rebalance/echo settle.
+
+  EXPECT_EQ(service.system()->cache_node_processes().size(), 3u);
+  int64_t pushed = 0;
+  for (CacheNodeProcess* cache : service.system()->cache_node_processes()) {
+    pushed += cache->rebalance_keys_pushed();
+  }
+  EXPECT_GT(pushed, 0);
+  ExpectFullReplication(&service, 2);
+
+  // Availability held: nearly every request answered despite the kill.
+  double answered = static_cast<double>(client->completed()) /
+                    static_cast<double>(client->completed() + client->timeouts());
+  EXPECT_GT(answered, 0.95);
+  EXPECT_EQ(client->errors(), 0);
+}
+
+TEST(CacheReplicationTest, FrontEndProfileCacheStaysWithinConfiguredBytes) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendOptions options = ReplicationOptions(2);
+  options.sns.fe_profile_cache_bytes = 2048;  // Tiny: force eviction pressure.
+  TranSendService service(options);
+  service.Start();
+  // Seed stored profiles: only found profiles populate the FE's read cache.
+  for (int i = 0; i < 200; ++i) {
+    UserProfile profile(StrFormat("user-%d", i));
+    profile.Set("quality", "high");
+    profile.Set("theme", StrFormat("theme-with-a-long-value-%d", i));
+    service.system()->SeedProfile(profile);
+  }
+  PlaybackEngine* client = service.AddPlaybackEngine(0x44);
+  service.sim()->RunFor(Seconds(5));
+
+  Rng rng(0x44);
+  ContentUniverse* universe = service.universe();
+  int user = 0;
+  client->StartConstantRate(20, [&rng, universe, &user] {
+    TraceRecord record;
+    record.user_id = StrFormat("user-%d", user++ % 200);  // Many distinct users.
+    record.url = universe->UrlAt(rng.UniformInt(0, universe->url_count() - 1));
+    return record;
+  });
+  service.sim()->RunFor(Seconds(40));
+  client->StopLoad();
+  service.sim()->RunFor(Seconds(10));
+
+  FrontEndProcess* fe = service.system()->front_end(0);
+  ASSERT_NE(fe, nullptr);
+  const auto& cache = fe->profile_cache();
+  EXPECT_LE(cache.used_bytes(), 2048);
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_GT(cache.evictions(), 0);  // 200 users cannot fit in 2 KB.
+  // The gauge surfaces occupancy for the flight recorder.
+  Gauge* gauge = service.system()->metrics()->GetGauge("fe.0.profile_cache_bytes");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_LE(gauge->value(), 2048.0);
+}
+
+}  // namespace
+}  // namespace sns

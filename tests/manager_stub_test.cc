@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/sns/manager_stub.h"
 
 namespace sns {
@@ -259,6 +261,88 @@ TEST_F(ManagerStubTest, CacheRingRemapsBoundedFractionOnJoin) {
   }
   EXPECT_GT(remapped, 0);
   EXPECT_LE(remapped, 2 * kKeys / (kNodes + 1));
+}
+
+TEST_F(ManagerStubTest, CacheChainForKeyReturnsDistinctReplicasHeadedByPrimary) {
+  SnsConfig config;
+  config.cache_replication = 3;
+  ManagerStub stub(config, &rng_);
+  ManagerBeaconPayload beacon = MakeBeacon(manager_, 1, {});
+  for (int i = 0; i < 5; ++i) {
+    beacon.cache_nodes.push_back(Endpoint{10 + i, 100});
+  }
+  stub.OnBeacon(beacon, Seconds(1));
+  for (int k = 0; k < 200; ++k) {
+    std::string key = "http://example.com/img" + std::to_string(k);
+    std::vector<Endpoint> chain = stub.CacheChainForKey(key);
+    ASSERT_EQ(chain.size(), 3u);
+    EXPECT_EQ(chain[0], *stub.CacheNodeForKey(key));  // chain[0] is the primary.
+    for (size_t i = 0; i < chain.size(); ++i) {
+      for (size_t j = i + 1; j < chain.size(); ++j) {
+        EXPECT_NE(chain[i], chain[j]);
+      }
+    }
+  }
+}
+
+TEST_F(ManagerStubTest, CacheChainClampsToMembershipAndHonorsConfig) {
+  SnsConfig config;
+  config.cache_replication = 3;
+  ManagerStub stub(config, &rng_);
+  ManagerBeaconPayload beacon = MakeBeacon(manager_, 1, {});
+  beacon.cache_nodes = {{10, 100}, {11, 100}};
+  stub.OnBeacon(beacon, Seconds(1));
+  // Only 2 members live: chains clamp to every member once.
+  EXPECT_EQ(stub.CacheChainForKey("k").size(), 2u);
+
+  SnsConfig single;
+  single.cache_replication = 1;
+  ManagerStub solo(single, &rng_);
+  solo.OnBeacon(beacon, Seconds(1));
+  std::vector<Endpoint> chain = solo.CacheChainForKey("k");
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], *solo.CacheNodeForKey("k"));
+}
+
+TEST_F(ManagerStubTest, CacheChainsRemapBoundedFractionUnderChurn) {
+  SnsConfig config;
+  config.cache_replication = 2;
+  ManagerStub stub(config, &rng_);
+  ManagerBeaconPayload beacon = MakeBeacon(manager_, 1, {});
+  const int kNodes = 6;
+  for (int i = 0; i < kNodes; ++i) {
+    beacon.cache_nodes.push_back(Endpoint{10 + i, 100});
+  }
+  stub.OnBeacon(beacon, Seconds(1));
+
+  const int kKeys = 2000;
+  std::vector<std::vector<Endpoint>> before(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    before[static_cast<size_t>(k)] =
+        stub.CacheChainForKey("http://example.com/img" + std::to_string(k));
+  }
+
+  Endpoint departed = beacon.cache_nodes.back();
+  beacon.cache_nodes.pop_back();
+  beacon.beacon_seq = 2;
+  stub.OnBeacon(beacon, Seconds(2));
+
+  int changed = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    auto& old_chain = before[static_cast<size_t>(k)];
+    auto now = stub.CacheChainForKey("http://example.com/img" + std::to_string(k));
+    ASSERT_EQ(now.size(), 2u);
+    if (now != old_chain) {
+      ++changed;
+      // Only chains that touched the departed node's arcs may change.
+      EXPECT_NE(std::find(old_chain.begin(), old_chain.end(), departed),
+                old_chain.end())
+          << "chain for key " << k << " changed spuriously";
+    }
+  }
+  // R=2 of N=6: ~1/3 of chains touch the departed node.
+  EXPECT_GT(changed, kKeys / 6);
+  EXPECT_LT(changed, 3 * kKeys / 5);
 }
 
 TEST_F(ManagerStubTest, RoundRobinPolicyRotates) {

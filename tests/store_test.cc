@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "src/store/consistent_hash.h"
 #include "src/store/kvstore.h"
 #include "src/store/lru_cache.h"
@@ -77,6 +80,44 @@ TEST(LruCacheTest, EraseAndClear) {
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.used_bytes(), 0);
+}
+
+TEST(LruCacheTest, OversizedReplacementPreservesExistingEntry) {
+  // Regression: Put used to erase the old entry before the over-capacity check,
+  // so replacing a key with an oversized value silently destroyed the key.
+  LruCache<std::string, std::string> cache(
+      20, [](const std::string& v) { return static_cast<int64_t>(v.size()); });
+  cache.Put("a", std::string(10, 'x'));
+  cache.Put("a", std::string(50, 'y'));  // Over capacity: rejected.
+  ASSERT_TRUE(cache.Contains("a"));
+  EXPECT_EQ(*cache.Get("a"), std::string(10, 'x'));
+  EXPECT_EQ(cache.used_bytes(), 10);
+  EXPECT_EQ(cache.rejected(), 1);
+}
+
+TEST(LruCacheTest, RejectedCounterAccumulates) {
+  LruCache<std::string, std::string> cache(
+      10, [](const std::string& v) { return static_cast<int64_t>(v.size()); });
+  cache.Put("a", std::string(11, 'x'));
+  cache.Put("b", std::string(99, 'y'));
+  EXPECT_EQ(cache.rejected(), 2);
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Put("c", std::string(5, 'z'));  // Fits: not rejected.
+  EXPECT_EQ(cache.rejected(), 2);
+}
+
+TEST(LruCacheTest, ForEachVisitsAllEntriesWithoutPromotion) {
+  LruCache<std::string, int> cache(3);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("c", 3);
+  std::map<std::string, int> seen;
+  cache.ForEach([&seen](const std::string& k, const int& v, int64_t) { seen[k] = v; });
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen["a"], 1);
+  cache.Put("d", 4);  // "a" is still LRU despite ForEach: evicted.
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_EQ(cache.hits(), 0);
 }
 
 TEST(LruCacheTest, PeekDoesNotPromoteOrCount) {
@@ -160,6 +201,112 @@ TEST(ConsistentHashTest, LookupNReturnsDistinctMembers) {
   EXPECT_NE(chain[0], chain[2]);
   // Asking for more than exist returns all members once.
   EXPECT_EQ(ring.LookupN("k", 10).size(), 5u);
+}
+
+TEST(ConsistentHashTest, VnodePointCollisionsDoNotCorruptRing) {
+  // Regression: the ring used to be a map<point, member>, so two vnodes hashing
+  // to the same point silently overwrote each other on AddMember — and
+  // RemoveMember of the second member then deleted the *survivor's* vnode,
+  // leaving the ring missing arcs it should still own. Force every vnode of
+  // every member onto colliding points to prove the set-of-pairs ring keeps them
+  // all distinct.
+  auto collide = [](int64_t /*member*/, int vnode) {
+    return static_cast<uint64_t>(vnode);  // Same point for every member.
+  };
+  ConsistentHashRing ring(8, collide);
+  ring.AddMember(1);
+  ring.AddMember(2);
+  EXPECT_EQ(ring.PointCount(), 16u);  // 8 vnodes each, none clobbered.
+  ring.RemoveMember(2);
+  EXPECT_EQ(ring.PointCount(), 8u);  // Member 1's colliding vnodes all survive.
+  EXPECT_TRUE(ring.HasMember(1));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(*ring.Lookup(StrFormat("k%d", i)), 1);
+  }
+}
+
+TEST(ConsistentHashTest, CollidingPointsBreakTiesDeterministically) {
+  auto collide = [](int64_t, int vnode) { return static_cast<uint64_t>(vnode); };
+  ConsistentHashRing a(4, collide);
+  ConsistentHashRing b(4, collide);
+  // Insertion order must not matter: ties on a point break by member id.
+  a.AddMember(7);
+  a.AddMember(3);
+  b.AddMember(3);
+  b.AddMember(7);
+  for (int i = 0; i < 50; ++i) {
+    std::string key = StrFormat("k%d", i);
+    EXPECT_EQ(*a.Lookup(key), *b.Lookup(key));
+    EXPECT_EQ(a.LookupN(key, 2), b.LookupN(key, 2));
+  }
+}
+
+TEST(ConsistentHashTest, LookupNChainOrderIsDeterministicAcrossRings) {
+  ConsistentHashRing a(64);
+  ConsistentHashRing b(64);
+  for (int64_t m = 0; m < 6; ++m) {
+    a.AddMember(m);
+  }
+  for (int64_t m = 5; m >= 0; --m) {
+    b.AddMember(m);  // Reverse insertion order.
+  }
+  for (int i = 0; i < 200; ++i) {
+    std::string key = StrFormat("url-%d", i);
+    EXPECT_EQ(a.LookupN(key, 3), b.LookupN(key, 3));
+  }
+}
+
+TEST(ConsistentHashTest, MembershipChangeRemapsAboutOneNthOfChains) {
+  // The replication analogue of RemovalOnlyRemapsVictimKeys: adding or removing
+  // one of N nodes should change roughly 1/N of the R=2 replica chains, not
+  // reshuffle the world.
+  constexpr int kKeys = 4000;
+  ConsistentHashRing ring(128);
+  for (int64_t m = 0; m < 8; ++m) {
+    ring.AddMember(m);
+  }
+  std::vector<std::vector<int64_t>> before(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    before[i] = ring.LookupN(StrFormat("url-%d", i), 2);
+  }
+
+  ring.RemoveMember(3);
+  int changed_on_remove = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    auto now = ring.LookupN(StrFormat("url-%d", i), 2);
+    bool was_on_victim =
+        std::find(before[i].begin(), before[i].end(), 3) != before[i].end();
+    if (now != before[i]) {
+      ++changed_on_remove;
+      // Only chains that touched the victim's arcs may change.
+      EXPECT_TRUE(was_on_victim) << "chain for url-" << i << " changed spuriously";
+    } else {
+      EXPECT_FALSE(was_on_victim);
+    }
+  }
+  // With R=2 of N=8 members, ~2/8 of chains touch the victim.
+  EXPECT_GT(changed_on_remove, kKeys / 8);
+  EXPECT_LT(changed_on_remove, kKeys / 2);
+
+  ring.AddMember(3);  // Restore: chains must return to the original assignment.
+  int changed_on_add = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    if (ring.LookupN(StrFormat("url-%d", i), 2) != before[i]) {
+      ++changed_on_add;
+    }
+  }
+  EXPECT_EQ(changed_on_add, 0);
+}
+
+TEST(ConsistentHashTest, LookupNPrimaryMatchesLookup) {
+  ConsistentHashRing ring(64);
+  for (int64_t m = 0; m < 5; ++m) {
+    ring.AddMember(m);
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::string key = StrFormat("k%d", i);
+    EXPECT_EQ(ring.LookupN(key, 3)[0], *ring.Lookup(key));
+  }
 }
 
 // ---------- KvStore (ACID) ---------------------------------------------------------
