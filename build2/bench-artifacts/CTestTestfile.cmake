@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build2/bench-artifacts
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(perf_smoke_run_table2_scalability "/root/repo/build2/bench/table2_scalability" "--short")
+set_tests_properties(perf_smoke_run_table2_scalability PROPERTIES  FIXTURES_SETUP "perf_smoke_table2_scalability_artifact" LABELS "perf-smoke" TIMEOUT "900" WORKING_DIRECTORY "/root/repo/build2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_smoke_validate_table2_scalability "/root/repo/build2/tools/validate_bench_artifact" "/root/repo/build2/BENCH_table2_scalability.json")
+set_tests_properties(perf_smoke_validate_table2_scalability PROPERTIES  FIXTURES_REQUIRED "perf_smoke_table2_scalability_artifact" LABELS "perf-smoke" TIMEOUT "60" WORKING_DIRECTORY "/root/repo/build2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_smoke_run_overload_degradation "/root/repo/build2/bench/overload_degradation" "--short")
+set_tests_properties(perf_smoke_run_overload_degradation PROPERTIES  FIXTURES_SETUP "perf_smoke_overload_degradation_artifact" LABELS "perf-smoke" TIMEOUT "900" WORKING_DIRECTORY "/root/repo/build2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_smoke_validate_overload_degradation "/root/repo/build2/tools/validate_bench_artifact" "/root/repo/build2/BENCH_overload_degradation.json")
+set_tests_properties(perf_smoke_validate_overload_degradation PROPERTIES  FIXTURES_REQUIRED "perf_smoke_overload_degradation_artifact" LABELS "perf-smoke" TIMEOUT "60" WORKING_DIRECTORY "/root/repo/build2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_smoke_run_cache_replication "/root/repo/build2/bench/cache_replication" "--short")
+set_tests_properties(perf_smoke_run_cache_replication PROPERTIES  FIXTURES_SETUP "perf_smoke_cache_replication_artifact" LABELS "perf-smoke" TIMEOUT "900" WORKING_DIRECTORY "/root/repo/build2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_smoke_validate_cache_replication "/root/repo/build2/tools/validate_bench_artifact" "/root/repo/build2/BENCH_cache_replication.json")
+set_tests_properties(perf_smoke_validate_cache_replication PROPERTIES  FIXTURES_REQUIRED "perf_smoke_cache_replication_artifact" LABELS "perf-smoke" TIMEOUT "60" WORKING_DIRECTORY "/root/repo/build2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_smoke_run_micro_substrate "/root/repo/build2/bench/micro_substrate" "--short")
+set_tests_properties(perf_smoke_run_micro_substrate PROPERTIES  FIXTURES_SETUP "perf_smoke_micro_substrate_artifact" LABELS "perf-smoke" TIMEOUT "900" WORKING_DIRECTORY "/root/repo/build2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_smoke_validate_micro_substrate "/root/repo/build2/tools/validate_bench_artifact" "/root/repo/build2/BENCH_micro_substrate.json")
+set_tests_properties(perf_smoke_validate_micro_substrate PROPERTIES  FIXTURES_REQUIRED "perf_smoke_micro_substrate_artifact" LABELS "perf-smoke" TIMEOUT "60" WORKING_DIRECTORY "/root/repo/build2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")

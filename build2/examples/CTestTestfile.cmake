@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build2/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build2/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;sns_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_transend_demo "/root/repo/build2/examples/transend_demo")
+set_tests_properties(example_transend_demo PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;sns_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hotbot_demo "/root/repo/build2/examples/hotbot_demo")
+set_tests_properties(example_hotbot_demo PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;sns_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fault_masking_demo "/root/repo/build2/examples/fault_masking_demo")
+set_tests_properties(example_fault_masking_demo PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;sns_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tacc_composition "/root/repo/build2/examples/tacc_composition")
+set_tests_properties(example_tacc_composition PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;sns_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_operations_demo "/root/repo/build2/examples/operations_demo")
+set_tests_properties(example_operations_demo PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;16;sns_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("sim")
+subdirs("net")
+subdirs("cluster")
+subdirs("store")
+subdirs("content")
+subdirs("tacc")
+subdirs("sns")
+subdirs("workload")
+subdirs("services")
+subdirs("chaos")
