@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 
 #include "src/cluster/failure_injector.h"
 #include "src/services/transend/transend.h"
@@ -27,6 +28,9 @@ TranSendOptions ChaosOptions(const CampaignConfig& config) {
   options.topology.front_ends = config.front_ends;
   options.topology.cache_nodes = config.cache_nodes;
   options.sns.manager_epoch_fencing = config.epoch_fencing;
+  options.sns.quorum_membership = config.quorum_membership;
+  options.sns.stonith_fencing = config.stonith_fencing;
+  options.sns.profile_write_acks = config.profile_write_acks;
   options.sns.cache_replication = config.cache_replication;
   return options;
 }
@@ -116,6 +120,20 @@ void ApplyFault(const FaultEvent& ev, SnsSystem* system, FailureInjector* inject
     case FaultKind::kBeaconLoss:
       injector->BeaconLossAt(now, kGroupManagerBeacon, ev.duration);
       break;
+    case FaultKind::kCrashProfileDb: {
+      ProfileDbProcess* db = system->profile_db();
+      if (db != nullptr) {
+        injector->CrashProcessAt(now, db->pid());
+      }
+      break;
+    }
+    case FaultKind::kPartitionProfileDb: {
+      ProfileDbProcess* db = system->profile_db();
+      if (db != nullptr && system->san()->PartitionGroupOf(db->node()) == 0) {
+        injector->PartitionAt(now, {db->node()}, now + ev.duration);
+      }
+      break;
+    }
   }
 }
 
@@ -133,6 +151,11 @@ std::string ChaosRunResult::Describe() const {
       static_cast<long long>(sent), static_cast<long long>(completed),
       static_cast<long long>(timeouts), static_cast<long long>(send_failures),
       static_cast<long long>(late_completions));
+  out += StrFormat(
+      "  writes: acked=%lld/%lld lost=%lld nonquorate=%lld fence_kills=%lld\n",
+      static_cast<long long>(writes_acked), static_cast<long long>(writes_sent),
+      static_cast<long long>(writes_lost), static_cast<long long>(nonquorate_writes),
+      static_cast<long long>(fence_kills));
   if (!passed()) {
     out += report.ToString();
   }
@@ -151,6 +174,23 @@ ChaosRunResult RunSchedule(const FaultSchedule& schedule, const CampaignConfig& 
   playback.request_deadline = config.request_deadline;
   PlaybackEngine* client = service.AddPlaybackEngine(playback);
 
+  // Profile-write side load feeding the acked-write ledger: one unique user per
+  // write, so durability of each acked value is decidable at quiesce (no
+  // last-writer races between ledger entries).
+  ProfileWriteLedger ledger;
+  std::unordered_map<std::string, size_t> ledger_index;
+  PlaybackConfig writer_config;
+  writer_config.seed = schedule.seed ^ 0x3717E5ULL;
+  writer_config.request_timeout = config.request_timeout;
+  writer_config.request_deadline = config.request_deadline;
+  writer_config.on_response = [&ledger, &ledger_index](const std::string& user, bool ok) {
+    auto it = ledger_index.find(user);
+    if (ok && it != ledger_index.end()) {
+      ledger.entries[it->second].acked = true;
+    }
+  };
+  PlaybackEngine* writer = service.AddPlaybackEngine(writer_config);
+
   Simulator* sim = service.sim();
   SnsSystem* system = service.system();
   ContentUniverse* universe = service.universe();
@@ -167,6 +207,25 @@ ChaosRunResult RunSchedule(const FaultSchedule& schedule, const CampaignConfig& 
   // t=0 keeps sent == completed + timeouts + send_failures exact.
   sim->RunFor(config.warmup);
 
+  // The ledgered writer starts only after warmup: before the first manager
+  // beacon reaches the front ends, the pre-PR-8 fire-and-forget path false-acks
+  // puts into the void, so a t=0 writer would make even the empty schedule lose
+  // acked writes under the baseline config — the contract under test is
+  // steady-state durability across faults, not the cold-start race.
+  int64_t write_seq = 0;
+  writer->StartConstantRate(
+      config.profile_write_rate, [&ledger, &ledger_index, &write_seq, universe] {
+        TraceRecord record;
+        record.user_id = StrFormat("qw%lld", static_cast<long long>(write_seq));
+        record.url = universe->UrlAt(0);
+        std::string value = StrFormat("v%lld", static_cast<long long>(write_seq));
+        record.params["set_qpref"] = value;
+        ledger_index[record.user_id] = ledger.entries.size();
+        ledger.entries.push_back({record.user_id, "qpref", value, false});
+        ++write_seq;
+        return record;
+      });
+
   FailureInjector injector(system->cluster(), system->san());
   system->AttachFailureInjector(&injector);
   SimTime fault_start = sim->now();
@@ -179,14 +238,23 @@ ChaosRunResult RunSchedule(const FaultSchedule& schedule, const CampaignConfig& 
   SimTime sample_end = fault_start + config.gen.horizon + config.gen.max_outage +
                        config.request_timeout + config.quiesce_settle;
   int last_census = -1;
+  int last_quorate = -1;
   std::function<void()> sample = [&] {
-    int census = static_cast<int>(LiveManagers(system).size());
+    std::vector<ManagerProcess*> managers = LiveManagers(system);
+    int census = static_cast<int>(managers.size());
+    int quorate = 0;
+    for (ManagerProcess* m : managers) {
+      if (!m->read_only_degraded()) {
+        ++quorate;
+      }
+    }
     result.max_concurrent_managers = std::max(result.max_concurrent_managers, census);
-    if (census != last_census) {
-      result.trace += StrFormat("t=%s managers=%d epoch=%llu\n",
-                                FormatTime(sim->now()).c_str(), census,
+    if (census != last_census || quorate != last_quorate) {
+      result.trace += StrFormat("t=%s managers=%d quorate=%d epoch=%llu\n",
+                                FormatTime(sim->now()).c_str(), census, quorate,
                                 static_cast<unsigned long long>(system->manager_epoch()));
       last_census = census;
+      last_quorate = quorate;
     }
     if (sim->now() < sample_end) {
       sim->Schedule(Milliseconds(500), sample);
@@ -197,27 +265,51 @@ ChaosRunResult RunSchedule(const FaultSchedule& schedule, const CampaignConfig& 
   // Fault window, plus slack for the longest outage to heal.
   sim->RunFor(config.gen.horizon + config.gen.max_outage);
   client->StopLoad();
+  writer->StopLoad();
   // Drain: every outstanding request completes or times out.
   sim->RunFor(config.request_timeout + Seconds(2));
   // Settle: beacons, TTL expiries, and re-registrations converge the soft state.
   sim->RunFor(config.quiesce_settle);
 
-  result.report = CheckInvariantsAtQuiesce(system, {client});
+  result.report = CheckInvariantsAtQuiesce(system, {client, writer}, &ledger);
   result.final_manager_epoch = system->manager_epoch();
   result.manager_demotions = system->metrics()->GetCounter("manager.demotions")->value();
   result.faults_injected = injector.injected_count();
-  result.sent = client->sent();
-  result.completed = client->completed();
-  result.timeouts = client->timeouts();
-  result.send_failures = client->send_failures();
-  result.late_completions = client->late_completions();
+  result.sent = client->sent() + writer->sent();
+  result.completed = client->completed() + writer->completed();
+  result.timeouts = client->timeouts() + writer->timeouts();
+  result.send_failures = client->send_failures() + writer->send_failures();
+  result.late_completions = client->late_completions() + writer->late_completions();
+  result.fence_kills = system->metrics()->GetCounter("fencing.kills")->value();
+  result.writes_sent = static_cast<int64_t>(ledger.entries.size());
+  result.writes_acked = ledger.acked();
+  result.nonquorate_writes =
+      system->metrics()->GetCounter("profiledb.writes_nonquorate")->value();
+  for (const InvariantViolation& v : result.report.violations) {
+    if (v.invariant == "acked-write-durable") {
+      ++result.writes_lost;
+    }
+  }
   for (const std::string& line : injector.event_log()) {
     result.trace += line + "\n";
   }
-  result.trace += StrFormat("final managers=%zu epoch=%llu demotions=%lld\n",
-                            LiveManagers(system).size(),
-                            static_cast<unsigned long long>(result.final_manager_epoch),
-                            static_cast<long long>(result.manager_demotions));
+  for (const std::string& line : system->fence_agent()->log()) {
+    result.trace += line + "\n";
+  }
+  for (const std::string& line : system->membership()->transitions()) {
+    result.trace += line + "\n";
+  }
+  result.trace += StrFormat(
+      "final managers=%zu epoch=%llu demotions=%lld fence_kills=%lld "
+      "writes acked=%lld/%lld lost=%lld nonquorate=%lld\n",
+      LiveManagers(system).size(),
+      static_cast<unsigned long long>(result.final_manager_epoch),
+      static_cast<long long>(result.manager_demotions),
+      static_cast<long long>(result.fence_kills),
+      static_cast<long long>(result.writes_acked),
+      static_cast<long long>(result.writes_sent),
+      static_cast<long long>(result.writes_lost),
+      static_cast<long long>(result.nonquorate_writes));
   return result;
 }
 

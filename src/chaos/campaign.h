@@ -26,6 +26,16 @@ struct CampaignConfig {
   // two manager incarnations beaconing forever after heal — the pre-epoch behavior
   // the regression tests demonstrate.
   bool epoch_fencing = true;
+  // Quorum membership, STONITH fencing, and the durable write-ack contract
+  // (DESIGN.md §14). All default on; turning them off reproduces the PR 3
+  // epoch-only baseline, under which the acked-write-durable invariant is
+  // demonstrably violated (the quorum regression test).
+  bool quorum_membership = true;
+  bool stonith_fencing = true;
+  bool profile_write_acks = true;
+  // Profile-write side load: a second client writes one unique user's prefs at
+  // this rate; each write is ledgered and the acked ones must survive to quiesce.
+  double profile_write_rate = 2.0;
   double request_rate = 15.0;
   SimDuration warmup = Seconds(12);
   SimDuration request_deadline = Seconds(8);
@@ -58,6 +68,12 @@ struct ChaosRunResult {
   // OK responses landing between deadline and timeout; allowed (best-effort
   // deadline), reported for visibility.
   int64_t late_completions = 0;
+  // Quorum/fencing accounting (PR 8).
+  int64_t fence_kills = 0;
+  int64_t writes_sent = 0;   // Profile writes issued by the writer client.
+  int64_t writes_acked = 0;  // ... of which the client saw answered Ok.
+  int64_t writes_lost = 0;   // Acked writes missing from the store at quiesce.
+  int64_t nonquorate_writes = 0;  // Commits applied on a minority side.
   // Sim-time-stamped event trace (fault injections + manager-census transitions).
   // Deterministic: identical across replays of the same schedule.
   std::string trace;

@@ -72,12 +72,62 @@ std::vector<CacheNodeProcess*> LiveCacheNodeProcesses(SnsSystem* system) {
   return LiveProcessesOfType<CacheNodeProcess>(system);
 }
 
+std::vector<ProfileDbProcess*> LiveProfileDbProcesses(SnsSystem* system) {
+  return LiveProcessesOfType<ProfileDbProcess>(system);
+}
+
 InvariantReport CheckInvariantsAtQuiesce(SnsSystem* system,
-                                         const std::vector<PlaybackEngine*>& clients) {
+                                         const std::vector<PlaybackEngine*>& clients,
+                                         const ProfileWriteLedger* writes) {
   InvariantReport report;
   auto violate = [&report](const char* invariant, std::string detail) {
     report.violations.push_back({invariant, std::move(detail)});
   };
+
+  // 6. The durable-write contract. Checked first (and independently of the
+  // manager census): losing an acknowledged write is the headline violation and
+  // must be reported even when the run also wedged the control plane.
+  if (writes != nullptr) {
+    for (const ProfileWriteLedger::Entry& entry : writes->entries) {
+      if (!entry.acked) {
+        continue;  // Unacked writes may or may not have landed; both are legal.
+      }
+      auto record = system->profile_store()->Get(entry.user_id);
+      if (!record.has_value()) {
+        violate("acked-write-durable",
+                StrFormat("acked write for user '%s' missing from profile store",
+                          entry.user_id.c_str()));
+        continue;
+      }
+      auto profile = UserProfile::Deserialize(entry.user_id, *record);
+      if (!profile.ok() || profile->GetOr(entry.pref_key, "") != entry.pref_value) {
+        violate("acked-write-durable",
+                StrFormat("acked write for user '%s' lost: %s=%s not in store",
+                          entry.user_id.c_str(), entry.pref_key.c_str(),
+                          entry.pref_value.c_str()));
+      }
+    }
+  }
+  int64_t nonquorate =
+      system->metrics()->GetCounter("profiledb.writes_nonquorate")->value();
+  if (nonquorate > 0) {
+    violate("no-minority-ack",
+            StrFormat("%lld profile write(s) committed while non-quorate",
+                      static_cast<long long>(nonquorate)));
+  }
+
+  // 7. Eventually exactly one live profile-DB incarnation.
+  if (system->topology().with_profile_db) {
+    std::vector<ProfileDbProcess*> dbs = LiveProfileDbProcesses(system);
+    if (dbs.size() != 1) {
+      std::string detail = StrFormat("%zu live profile-db incarnation(s):", dbs.size());
+      for (ProfileDbProcess* db : dbs) {
+        detail += StrFormat(" gen=%llu@n%d", static_cast<unsigned long long>(db->generation()),
+                            db->node());
+      }
+      violate("exactly-one-profile-db", detail);
+    }
+  }
 
   // 1. Eventually exactly one live manager.
   std::vector<ManagerProcess*> managers = LiveManagers(system);

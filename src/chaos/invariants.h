@@ -23,6 +23,13 @@
 //      replication). This is the R-way extension of the paper's "cached data can
 //      be thrown away" guarantee: after churn the survivors re-converge to R
 //      copies of everything that fits.
+//   6. The durable-write contract (DESIGN.md §14): no acknowledged profile-DB
+//      write is ever lost — every write the client saw answered Ok is present in
+//      the ACID store with the acknowledged value — and no minority partition
+//      ever acknowledged a write (profiledb.writes_nonquorate stays zero). Holds
+//      across every generated fault schedule, including fenced failovers.
+//   7. Exactly one live profile-DB incarnation (generation fencing + STONITH
+//      demote every superseded incarnation, mirroring the manager's epoch story).
 
 #ifndef SRC_CHAOS_INVARIANTS_H_
 #define SRC_CHAOS_INVARIANTS_H_
@@ -52,11 +59,31 @@ struct InvariantReport {
 std::vector<ManagerProcess*> LiveManagers(SnsSystem* system);
 std::vector<FrontEndProcess*> LiveFrontEndProcesses(SnsSystem* system);
 std::vector<CacheNodeProcess*> LiveCacheNodeProcesses(SnsSystem* system);
+std::vector<ProfileDbProcess*> LiveProfileDbProcesses(SnsSystem* system);
+
+// Client-observed ledger of profile writes: one entry per write request, marked
+// acked when the service answered Ok. The durability invariant demands every
+// acked entry's value be present in the profile store at quiesce.
+struct ProfileWriteLedger {
+  struct Entry {
+    std::string user_id;
+    std::string pref_key;
+    std::string pref_value;
+    bool acked = false;
+  };
+  std::vector<Entry> entries;
+  int64_t acked() const {
+    int64_t n = 0;
+    for (const Entry& e : entries) n += e.acked ? 1 : 0;
+    return n;
+  }
+};
 
 // Runs all quiesce-point invariants. `clients` are the playback engines whose
-// accounting is checked.
+// accounting is checked; `writes` (optional) enables the durable-write checks.
 InvariantReport CheckInvariantsAtQuiesce(SnsSystem* system,
-                                         const std::vector<PlaybackEngine*>& clients);
+                                         const std::vector<PlaybackEngine*>& clients,
+                                         const ProfileWriteLedger* writes = nullptr);
 
 }  // namespace sns
 

@@ -28,6 +28,10 @@ const char* FaultKindName(FaultKind kind) {
       return "partition_front_end";
     case FaultKind::kBeaconLoss:
       return "beacon_loss";
+    case FaultKind::kCrashProfileDb:
+      return "crash_profile_db";
+    case FaultKind::kPartitionProfileDb:
+      return "partition_profile_db";
   }
   return "unknown";
 }

@@ -28,8 +28,10 @@ enum class FaultKind {
   kPartitionWorkers,   // Split `count` worker-pool nodes away for `duration`.
   kPartitionFrontEnd,  // Split one front end's node away for `duration`.
   kBeaconLoss,         // Suppress the manager-beacon multicast for `duration`.
+  kCrashProfileDb,     // Crash the current profile-DB process.
+  kPartitionProfileDb,  // Split the profile DB's node away for `duration`.
 };
-inline constexpr int kFaultKindCount = 9;
+inline constexpr int kFaultKindCount = 11;
 
 const char* FaultKindName(FaultKind kind);
 
@@ -58,7 +60,7 @@ struct ScheduleGenConfig {
   SimDuration max_outage = Seconds(20);
   int max_partition_nodes = 3;
   // Relative draw weight per FaultKind (enum order). Zero removes a kind.
-  std::vector<double> kind_weights = {1.0, 2.0, 1.0, 1.0, 1.0, 1.5, 1.0, 1.0, 1.0};
+  std::vector<double> kind_weights = {1.0, 2.0, 1.0, 1.0, 1.0, 1.5, 1.0, 1.0, 1.0, 1.0, 1.0};
 };
 
 FaultSchedule GenerateSchedule(uint64_t seed, const ScheduleGenConfig& config);

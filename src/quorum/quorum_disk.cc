@@ -1,0 +1,59 @@
+#include "src/quorum/quorum_disk.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/strings.h"
+
+namespace sns {
+namespace {
+
+constexpr char kLeaseKey[] = "qdisk/lease";
+
+}  // namespace
+
+QuorumDisk::QuorumDisk(KvStore* store, SimDuration lease)
+    : store_(store), lease_(lease) {}
+
+std::optional<QuorumDisk::Lease> QuorumDisk::ReadLease() const {
+  std::optional<std::string> raw = store_->Get(kLeaseKey);
+  if (!raw.has_value()) {
+    return std::nullopt;
+  }
+  Lease lease;
+  long long owner = 0;
+  long long expiry = 0;
+  if (std::sscanf(raw->c_str(), "%lld %lld", &owner, &expiry) != 2) {
+    return std::nullopt;  // Torn or corrupt record: treat as unowned.
+  }
+  lease.owner = static_cast<NodeId>(owner);
+  lease.expiry = static_cast<SimTime>(expiry);
+  return lease;
+}
+
+void QuorumDisk::WriteLease(const Lease& lease) {
+  store_->Put(kLeaseKey, StrFormat("%lld %lld", static_cast<long long>(lease.owner),
+                                   static_cast<long long>(lease.expiry)));
+}
+
+bool QuorumDisk::TryClaim(NodeId node, SimTime now) {
+  std::optional<Lease> current = ReadLease();
+  if (current.has_value() && current->owner != node && current->expiry > now) {
+    return false;  // Another node holds a live lease.
+  }
+  if (!current.has_value() || current->owner != node) {
+    ++claims_;
+  }
+  WriteLease(Lease{node, now + lease_});
+  return true;
+}
+
+std::optional<NodeId> QuorumDisk::Owner(SimTime now) const {
+  std::optional<Lease> current = ReadLease();
+  if (!current.has_value() || current->expiry <= now) {
+    return std::nullopt;
+  }
+  return current->owner;
+}
+
+}  // namespace sns

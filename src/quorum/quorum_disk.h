@@ -1,0 +1,55 @@
+// Simulated quorum disk (tiebreaker for even vote splits).
+//
+// Models the shared-SCSI quorum partition of the Red Hat cluster suite's qdiskd
+// and of MSCS: a small disk region, reachable from every node regardless of SAN
+// partitions (it sits on the storage bus, not the network), holding a
+// lease-stamped ownership record. A manager renews the lease every beacon tick;
+// a challenger may claim it only after the incumbent's lease expires. The
+// record is persisted through an ordinary KvStore so it survives process
+// crashes exactly like the profile database does.
+
+#ifndef SRC_QUORUM_QUORUM_DISK_H_
+#define SRC_QUORUM_QUORUM_DISK_H_
+
+#include <optional>
+
+#include "src/net/message.h"
+#include "src/store/kvstore.h"
+#include "src/util/time.h"
+
+namespace sns {
+
+class QuorumDisk {
+ public:
+  // `store` must outlive the disk. `lease` is how long a claim stays valid
+  // without renewal; it should comfortably exceed the renewer's tick period.
+  QuorumDisk(KvStore* store, SimDuration lease);
+
+  // Claims or renews the lease for `node`. Succeeds when `node` already holds
+  // a valid lease, when the disk is unowned, or when the previous owner's
+  // lease has expired (the incumbent stopped renewing — dead or deposed).
+  // Returns whether `node` holds the lease after the call.
+  bool TryClaim(NodeId node, SimTime now);
+
+  // The current lease holder, or nullopt if unowned or expired.
+  std::optional<NodeId> Owner(SimTime now) const;
+
+  SimDuration lease() const { return lease_; }
+  int64_t claims() const { return claims_; }
+
+ private:
+  struct Lease {
+    NodeId owner = kInvalidNode;
+    SimTime expiry = 0;
+  };
+  std::optional<Lease> ReadLease() const;
+  void WriteLease(const Lease& lease);
+
+  KvStore* store_;
+  SimDuration lease_;
+  int64_t claims_ = 0;  // Successful claims by a node that was not the owner.
+};
+
+}  // namespace sns
+
+#endif  // SRC_QUORUM_QUORUM_DISK_H_

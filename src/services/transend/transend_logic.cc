@@ -44,14 +44,22 @@ void TranSendLogic::HandleRequest(RequestContext* ctx) {
       }
     }
     if (updated_prefs) {
-      c->PutProfile(updated);
-      c->SetProfile(updated);
-      std::string page = "<html><body><div class=\"transend-toolbar\">Preferences saved for " +
-                         updated.user_id() + ".</div></body></html>";
-      c->Respond(Status::Ok(),
-                 Content::Make(c->request().url, MimeType::kHtml,
-                               std::vector<uint8_t>(page.begin(), page.end())),
-                 ResponseSource::kPassThrough, false);
+      // Durable-write contract (DESIGN.md §14): the "saved" page goes out only
+      // after the profile DB acknowledges the commit; a refused or unacked
+      // write surfaces as an error instead of a false confirmation.
+      c->PutProfile(updated, [updated](RequestContext* c2, Status status) {
+        if (!status.ok()) {
+          c2->Respond(status, nullptr, ResponseSource::kPassThrough, false);
+          return;
+        }
+        c2->SetProfile(updated);
+        std::string page = "<html><body><div class=\"transend-toolbar\">Preferences saved for " +
+                           updated.user_id() + ".</div></body></html>";
+        c2->Respond(Status::Ok(),
+                    Content::Make(c2->request().url, MimeType::kHtml,
+                                  std::vector<uint8_t>(page.begin(), page.end())),
+                    ResponseSource::kPassThrough, false);
+      });
       return;
     }
     std::string quality = profile.GetOr("quality", config_.default_quality);

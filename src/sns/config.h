@@ -53,6 +53,34 @@ struct SnsConfig {
   // beacons.
   SimDuration beacon_absence_grace = Milliseconds(2500);
 
+  // --- Quorum membership + fencing (MSCS regroup / cman votes; DESIGN.md §14) ------
+  // Vote-based membership: every infrastructure node registers `node_votes` votes
+  // with the MembershipService; a manager asserts (or retains) leadership only
+  // while its side of the SAN holds a strict majority of the registered votes —
+  // a minority-side manager degrades to read-only (keeps beaconing with
+  // quorate=false, stops policy actions) instead of acting on a stale world view,
+  // and relaunch requests from non-quorate requesters are refused. Exact 50/50
+  // splits are broken by the quorum-disk lease. Off reproduces the PR 3
+  // epoch-only baseline where a minority manager keeps serving while partitioned.
+  bool quorum_membership = true;
+  // Votes per infrastructure node (cman's per-node `votes`, default 1). Client /
+  // load-generator nodes always carry zero votes.
+  int node_votes = 1;
+  // STONITH: before a successor is promoted over an incumbent that is alive but
+  // unreachable from the requester, the incumbent is killed through the fence
+  // agent's out-of-band channel, so two incarnations never coexist even during
+  // the partition. Also arms the profile store's generation reservation.
+  bool stonith_fencing = true;
+  // Validity of a quorum-disk lease without renewal. Must exceed the beacon
+  // period (the renewal tick) by enough to ride out a couple of missed renewals.
+  SimDuration quorum_disk_lease = Seconds(3);
+  // Durable profile-DB write contract: a front end acknowledges a profile write
+  // to the client only after the DB has committed it to the shared store and
+  // replied. Off reproduces the historic fire-and-forget write-through, where
+  // the client's OK races the datagram (a write toward a dead or partitioned DB
+  // is silently lost after being acknowledged).
+  bool profile_write_acks = true;
+
   // --- Load balancing (§3.1.2, §4.5) ---------------------------------------------
   // Weight of the newest report in the manager's weighted moving average.
   double load_ewma_alpha = 0.3;

@@ -19,6 +19,10 @@ void RequestContext::GetProfile(ProfileCb cb) { fe_->DoGetProfile(this, std::mov
 
 void RequestContext::PutProfile(const UserProfile& profile) { fe_->DoPutProfile(profile); }
 
+void RequestContext::PutProfile(const UserProfile& profile, PutCb cb) {
+  fe_->DoPutProfile(this, profile, std::move(cb));
+}
+
 void RequestContext::CacheGet(const std::string& key, CacheCb cb) {
   fe_->DoCacheGet(this, key, std::move(cb));
 }
@@ -120,6 +124,9 @@ void FrontEndProcess::OnMessage(const Message& msg) {
       break;
     case kMsgProfileReply:
       HandleProfileReply(msg);
+      break;
+    case kMsgProfilePutAck:
+      HandleProfilePutAck(msg);
       break;
     case kMsgFetchResponse:
       HandleFetchResponse(msg);
@@ -487,6 +494,88 @@ void FrontEndProcess::DoPutProfile(const UserProfile& profile) {
   msg.size_bytes = 64 + profile.WireSize();
   msg.payload = payload;
   Send(std::move(msg));
+}
+
+void FrontEndProcess::DoPutProfile(RequestContext* ctx, const UserProfile& profile,
+                                   RequestContext::PutCb cb) {
+  if (!config_.profile_write_acks) {
+    // Baseline (pre-§14) contract: fire-and-forget, then tell the caller Ok
+    // immediately. If the DB is partitioned away the write silently evaporates
+    // after the ack — exactly the false ack the chaos regression demonstrates.
+    DoPutProfile(profile);
+    cb(ctx, Status::Ok());
+    return;
+  }
+  if (config_.quorum_membership && stub_.ManagerKnown() && !stub_.cluster_quorate()) {
+    // The manager itself says it is on a minority side: fail fast rather than
+    // burn the request's budget waiting for a DB nack.
+    cb(ctx, UnavailableError("cluster not quorate; write refused"));
+    return;
+  }
+  const Endpoint& db = stub_.profile_db();
+  SimDuration budget = RemainingBudget(ctx);
+  if (!db.valid() || budget <= 0) {
+    cb(ctx, UnavailableError("profile db unavailable"));
+    return;
+  }
+  uint64_t op_id = next_id_++;
+  auto payload = std::make_shared<ProfilePutPayload>();
+  payload->profile = profile;
+  payload->op_id = op_id;
+  payload->reply_to = endpoint();
+  PendingPutOp op;
+  op.request_id = ctx->id_;
+  op.cb = std::move(cb);
+  op.profile = profile;
+  op.trace = ChildSpan(ctx->trace_);
+  op.started = sim()->now();
+  op.timeout = After(CapToBudget(config_.profile_timeout, budget), [this, op_id] {
+    auto it = pending_put_.find(op_id);
+    if (it == pending_put_.end()) {
+      return;
+    }
+    PendingPutOp pending = std::move(it->second);
+    pending_put_.erase(it);
+    RecordSpan(pending.trace, "fe.profile_put", pending.started, "timeout");
+    RequestContext* ctx2 = FindContext(pending.request_id);
+    if (ctx2 != nullptr && !ctx2->responded_) {
+      // Unlike reads there is no BASE fallback: an unacked write is a failure
+      // the client must hear about (it may or may not have committed).
+      pending.cb(ctx2, TimeoutError("profile write unacknowledged"));
+    }
+  });
+  Message msg;
+  msg.dst = db;
+  msg.type = kMsgProfilePut;
+  msg.transport = Transport::kReliable;
+  msg.size_bytes = 64 + profile.WireSize();
+  msg.payload = payload;
+  msg.trace = op.trace;
+  pending_put_[op_id] = std::move(op);
+  Send(std::move(msg));
+}
+
+void FrontEndProcess::HandleProfilePutAck(const Message& msg) {
+  const auto& ack = static_cast<const ProfilePutAckPayload&>(*msg.payload);
+  auto it = pending_put_.find(ack.op_id);
+  if (it == pending_put_.end()) {
+    return;  // Timed out earlier.
+  }
+  PendingPutOp op = std::move(it->second);
+  pending_put_.erase(it);
+  CancelTimer(op.timeout);
+  RecordSpan(op.trace, "fe.profile_put", op.started, ack.status.ok() ? "ok" : "refused");
+  RequestContext* ctx = FindContext(op.request_id);
+  if (ctx == nullptr || ctx->responded_) {
+    return;
+  }
+  if (ack.status.ok()) {
+    // Write-through only on a durable commit: a refused write must not leave a
+    // phantom profile in the FE cache masking the failure from later reads.
+    profile_cache_.Put(op.profile.user_id(), op.profile);
+    profile_cache_gauge_->Set(static_cast<double>(profile_cache_.used_bytes()));
+  }
+  op.cb(ctx, ack.status);
 }
 
 // ---------- Cache facility ------------------------------------------------------------

@@ -47,6 +47,7 @@ class FrontEndProcess;
 class RequestContext {
  public:
   using ProfileCb = std::function<void(RequestContext*, bool found, const UserProfile&)>;
+  using PutCb = std::function<void(RequestContext*, Status)>;
   using CacheCb = std::function<void(RequestContext*, bool hit, ContentPtr)>;
   using ContentCb = std::function<void(RequestContext*, Status, ContentPtr)>;
 
@@ -65,6 +66,11 @@ class RequestContext {
   // Profile database access with the FE's write-through cache (§3.1.4).
   void GetProfile(ProfileCb cb);
   void PutProfile(const UserProfile& profile);
+  // Acknowledged write (DESIGN.md §14): `cb` fires with Ok only after the DB
+  // commits and acks — the local cache is updated then, not before. With
+  // config_.profile_write_acks off this degrades to the legacy fire-and-forget
+  // (immediate Ok), the false-ack baseline the chaos regression exercises.
+  void PutProfile(const UserProfile& profile, PutCb cb);
 
   // The profile attached to this request. Once set (typically inside the GetProfile
   // callback), it is automatically delivered to workers with every task — the TACC
@@ -221,6 +227,14 @@ class FrontEndProcess : public Process {
     SimTime started = 0;
     EventId timeout = kInvalidEventId;
   };
+  struct PendingPutOp {
+    uint64_t request_id = 0;
+    RequestContext::PutCb cb;
+    UserProfile profile;  // Cached (write-through) only once the DB acks.
+    TraceContext trace;
+    SimTime started = 0;
+    EventId timeout = kInvalidEventId;
+  };
 
   // --- Message handlers -----------------------------------------------------------
   void HandleBeacon(const ManagerBeaconPayload& beacon);
@@ -228,6 +242,7 @@ class FrontEndProcess : public Process {
   void HandleTaskResponse(const Message& msg);
   void HandleCacheReply(const Message& msg);
   void HandleProfileReply(const Message& msg);
+  void HandleProfilePutAck(const Message& msg);
   void HandleFetchResponse(const Message& msg);
 
   // --- Request lifecycle ------------------------------------------------------------
@@ -253,6 +268,8 @@ class FrontEndProcess : public Process {
   // --- Facilities used by RequestContext ---------------------------------------------
   void DoGetProfile(RequestContext* ctx, RequestContext::ProfileCb cb);
   void DoPutProfile(const UserProfile& profile);
+  void DoPutProfile(RequestContext* ctx, const UserProfile& profile,
+                    RequestContext::PutCb cb);
   void DoCacheGet(RequestContext* ctx, const std::string& key, RequestContext::CacheCb cb);
   void DoCachePut(RequestContext* ctx, const std::string& key, ContentPtr content);
   // Sends the probe for `op`'s current attempt under a fresh op id.
@@ -298,6 +315,7 @@ class FrontEndProcess : public Process {
   std::unordered_map<uint64_t, PendingCacheOp> pending_cache_;
   std::unordered_map<uint64_t, PendingProfileOp> pending_profile_;
   std::unordered_map<uint64_t, PendingFetchOp> pending_fetch_;
+  std::unordered_map<uint64_t, PendingPutOp> pending_put_;
 
   // Write-through (§3.1.4), byte-bounded: millions of distinct users must not
   // grow FE memory without limit.

@@ -33,10 +33,14 @@ class ComponentLauncher {
   // restarting it if needed (same reachability contract as RelaunchManager).
   virtual ProcessId RelaunchFrontEnd(int fe_index, NodeId requester = kInvalidNode) = 0;
 
-  // Ensures the profile database is running (the paper's commercial deployments use
-  // primary/backup failover for the ACID component, §3.2; here the manager detects
-  // the silence and fails over to a fresh process recovering from the shared WAL).
-  virtual ProcessId RelaunchProfileDb() = 0;
+  // Ensures a profile database usable by `requester` is running (the paper's
+  // commercial deployments use primary/backup failover for the ACID component,
+  // §3.2; here the manager detects the silence and fails over to a fresh
+  // incarnation — with a higher generation — recovering from the shared WAL).
+  // Same reachability-aware idempotence contract as RelaunchManager; with
+  // STONITH enabled an alive-but-unreachable incumbent is fenced before the
+  // successor starts.
+  virtual ProcessId RelaunchProfileDb(NodeId requester = kInvalidNode) = 0;
 };
 
 }  // namespace sns

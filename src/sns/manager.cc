@@ -4,15 +4,17 @@
 #include <set>
 
 #include "src/util/logging.h"
+#include "src/util/strings.h"
 
 namespace sns {
 
 ManagerProcess::ManagerProcess(const SnsConfig& config, ComponentLauncher* launcher,
-                               uint64_t epoch)
+                               uint64_t epoch, MembershipService* membership)
     : Process("manager"),
       config_(config),
       launcher_(launcher),
       epoch_(epoch),
+      membership_(membership),
       workers_(config.worker_ttl),
       front_ends_(config.front_end_ttl),
       cache_nodes_(config.worker_ttl) {}
@@ -25,6 +27,7 @@ void ManagerProcess::OnStart() {
   fe_restarts_ = metrics()->GetCounter("manager.fe_restarts");
   profile_db_failovers_ = metrics()->GetCounter("manager.profile_db_failovers");
   demotions_ = metrics()->GetCounter("manager.demotions");
+  quorum_losses_ = metrics()->GetCounter("manager.quorum_losses");
   known_workers_ = metrics()->GetGauge("manager.known_workers");
   epoch_gauge_ = metrics()->GetGauge("manager.epoch");
   epoch_gauge_->Set(static_cast<double>(epoch_));
@@ -121,8 +124,13 @@ void ManagerProcess::HandleRegister(const RegisterComponentPayload& p) {
       front_ends_.Refresh(p.component, FrontEndState{p.fe_index}, now);
       break;
     case ComponentKind::kProfileDb:
-      profile_db_ = p.component;
-      profile_db_last_seen_ = now;
+      // Keep only the newest incarnation: a fenced-off stale DB re-registering
+      // after a heal must not displace the successor from the beacon.
+      if (p.component_generation >= profile_db_generation_) {
+        profile_db_generation_ = p.component_generation;
+        profile_db_ = p.component;
+        profile_db_last_seen_ = now;
+      }
       break;
     default:
       break;
@@ -192,8 +200,11 @@ void ManagerProcess::HandleLoadReport(const LoadReportPayload& p) {
       }
       break;
     case ComponentKind::kProfileDb:
-      profile_db_ = p.component;
-      profile_db_last_seen_ = now;
+      if (p.component_generation >= profile_db_generation_) {
+        profile_db_generation_ = p.component_generation;
+        profile_db_ = p.component;
+        profile_db_last_seen_ = now;
+      }
       break;
     default:
       break;
@@ -211,14 +222,49 @@ void ManagerProcess::Beacon() {
   if (demoted_) {
     return;
   }
-  ExpireSoftState();
-  RunPolicy();
+  SimTime now = sim()->now();
+  // Regroup round (MSCS-style): leadership is asserted only with a quorum of
+  // live votes. A minority-side manager degrades to read-only — no soft-state
+  // expiry, no policy actions, no relaunches — but keeps beaconing with
+  // quorate=false so its side's front ends fail writes fast and don't stampede
+  // watchdog restarts against a manager that is in fact alive.
+  bool quorate = true;
+  int32_t votes_held = 0;
+  int32_t votes_total = 0;
+  if (config_.quorum_membership && membership_ != nullptr) {
+    MembershipView view = membership_->Regroup(node(), now, /*renew=*/true);
+    quorate = view.quorate;
+    votes_held = view.votes_held;
+    votes_total = view.votes_total;
+    if (!quorate && !read_only_degraded_) {
+      read_only_degraded_ = true;
+      quorum_losses_->Increment();
+      SNS_LOG(kWarning, "manager")
+          << "epoch " << epoch_ << " lost quorum (" << votes_held << "/" << votes_total
+          << " votes); degrading to read-only";
+      membership_->NoteTransition(StrFormat(
+          "t=%s manager epoch=%llu degraded (votes %d/%d)", FormatTime(now).c_str(),
+          static_cast<unsigned long long>(epoch_), votes_held, votes_total));
+    } else if (quorate && read_only_degraded_) {
+      read_only_degraded_ = false;
+      SNS_LOG(kInfo, "manager") << "epoch " << epoch_ << " regained quorum; resuming";
+      membership_->NoteTransition(StrFormat(
+          "t=%s manager epoch=%llu resumed (votes %d/%d)", FormatTime(now).c_str(),
+          static_cast<unsigned long long>(epoch_), votes_held, votes_total));
+    }
+  }
+  if (!read_only_degraded_) {
+    ExpireSoftState();
+    RunPolicy();
+  }
 
   auto payload = std::make_shared<ManagerBeaconPayload>();
   payload->manager = endpoint();
   payload->epoch = epoch_;
   payload->beacon_seq = ++beacon_seq_;
-  SimTime now = sim()->now();
+  payload->quorate = quorate;
+  payload->votes_held = votes_held;
+  payload->votes_total = votes_total;
   workers_.ForEach(now, [&](const Endpoint& ep, const WorkerState& state) {
     WorkerHint hint;
     hint.endpoint = ep;
@@ -231,6 +277,7 @@ void ManagerProcess::Beacon() {
     payload->cache_nodes.push_back(ep);
   });
   payload->profile_db = profile_db_;
+  payload->profile_db_generation = profile_db_generation_;
 
   Message msg;
   msg.type = kMsgManagerBeacon;
@@ -264,7 +311,7 @@ void ManagerProcess::ExpireSoftState() {
     SNS_LOG(kWarning, "manager") << "profile DB silent; failing over";
     profile_db_failovers_->Increment();
     profile_db_last_seen_ = now;  // One failover per TTL window.
-    launcher_->RelaunchProfileDb();
+    launcher_->RelaunchProfileDb(node());
   }
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/quorum/membership.h"
 #include "src/sim/timer.h"
 #include "src/sns/config.h"
 #include "src/sns/launcher.h"
@@ -41,7 +42,12 @@ class ManagerProcess : public Process {
   // and a manager that observes a higher epoch (a rival's beacon, or a
   // registration stamped with one) demotes itself, so split-brain resolves
   // deterministically once a partition heals.
-  ManagerProcess(const SnsConfig& config, ComponentLauncher* launcher, uint64_t epoch = 1);
+  // `membership` (optional) is the vote-based membership oracle: when set and
+  // config.quorum_membership is on, every beacon tick runs a regroup round and
+  // the manager only acts (policy, expiry, relaunches) while its side holds a
+  // quorum of votes. Null keeps the pre-quorum behavior (always quorate).
+  ManagerProcess(const SnsConfig& config, ComponentLauncher* launcher, uint64_t epoch = 1,
+                 MembershipService* membership = nullptr);
 
   void OnStart() override;
   void OnStop() override;
@@ -49,6 +55,10 @@ class ManagerProcess : public Process {
 
   uint64_t epoch() const { return epoch_; }
   bool demoted() const { return demoted_; }
+  // True while this manager is on the minority side of a partition: it keeps
+  // beaconing (marked quorate=false) but takes no policy actions and its side's
+  // front ends refuse to acknowledge writes.
+  bool read_only_degraded() const { return read_only_degraded_; }
 
   // --- Observability -----------------------------------------------------------------
   // Counters live in the cluster's MetricsRegistry under "manager.*" and are
@@ -60,6 +70,7 @@ class ManagerProcess : public Process {
   int64_t fe_restarts() const { return CounterOr0(fe_restarts_); }
   int64_t profile_db_failovers() const { return CounterOr0(profile_db_failovers_); }
   int64_t demotions() const { return CounterOr0(demotions_); }
+  int64_t quorum_losses() const { return CounterOr0(quorum_losses_); }
   size_t KnownWorkerCount() const;
   size_t KnownFrontEndCount() const;
   size_t KnownWorkerCount(const std::string& type) const;
@@ -108,6 +119,8 @@ class ManagerProcess : public Process {
   SnsConfig config_;
   ComponentLauncher* launcher_;
   uint64_t epoch_;
+  MembershipService* membership_;
+  bool read_only_degraded_ = false;
   // Set once a higher epoch is observed: beaconing stops immediately and the
   // process crashes itself on the next event (Crash destroys `this`, so it cannot
   // run inside the message handler that noticed the rival).
@@ -118,6 +131,9 @@ class ManagerProcess : public Process {
   SoftStateTable<Endpoint, bool, EndpointHash> cache_nodes_;
   Endpoint profile_db_;
   SimTime profile_db_last_seen_ = -1;
+  // Highest DB incarnation generation seen in a registration/heartbeat; beaconed
+  // so a superseded incarnation learns of its replacement and self-demotes.
+  uint64_t profile_db_generation_ = 0;
 
   std::map<std::string, SimTime> last_spawn_;        // Cooldown D per worker type.
   std::map<std::string, SimTime> low_load_since_;    // Reap tracking per type.
@@ -137,6 +153,7 @@ class ManagerProcess : public Process {
   Counter* fe_restarts_ = nullptr;
   Counter* profile_db_failovers_ = nullptr;
   Counter* demotions_ = nullptr;
+  Counter* quorum_losses_ = nullptr;
   Gauge* known_workers_ = nullptr;
   Gauge* epoch_gauge_ = nullptr;
 };

@@ -69,6 +69,10 @@ bool ManagerStub::OnBeacon(const ManagerBeaconPayload& beacon, SimTime now) {
   }
   cache_nodes_ = std::move(fresh);
   profile_db_ = beacon.profile_db;
+  profile_db_generation_ = beacon.profile_db_generation;
+  quorate_ = beacon.quorate;
+  votes_held_ = beacon.votes_held;
+  votes_total_ = beacon.votes_total;
   return true;
 }
 

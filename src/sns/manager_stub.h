@@ -77,6 +77,15 @@ class ManagerStub {
 
   const std::vector<Endpoint>& cache_nodes() const { return cache_nodes_; }
   const Endpoint& profile_db() const { return profile_db_; }
+  uint64_t profile_db_generation() const { return profile_db_generation_; }
+
+  // Quorum state from the last accepted beacon. A front end behind a degraded
+  // (minority) manager fails profile writes fast instead of letting them time
+  // out against an unreachable DB. Defaults to quorate when no beacon has been
+  // seen, so quorum-unaware setups behave exactly as before.
+  bool cluster_quorate() const { return quorate_; }
+  int32_t votes_held() const { return votes_held_; }
+  int32_t votes_total() const { return votes_total_; }
 
   // Cache partition owning `key` on the consistent-hash ring; nullopt when no
   // cache node is known.
@@ -120,6 +129,10 @@ class ManagerStub {
   ConsistentHashRing cache_ring_;
   uint64_t cache_membership_changes_ = 0;
   Endpoint profile_db_;
+  uint64_t profile_db_generation_ = 0;
+  bool quorate_ = true;
+  int32_t votes_held_ = 0;
+  int32_t votes_total_ = 0;
 };
 
 }  // namespace sns

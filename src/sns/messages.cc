@@ -73,7 +73,7 @@ int64_t WireSizeOf(const TaskResponsePayload& p) { return 96 + ContentBytes(p.ou
 
 int64_t WireSizeOf(const ManagerBeaconPayload& p) {
   // Each hint: endpoint + type + load (the paper's piggybacked load announcements).
-  int64_t total = 72;  // Header + epoch + seq.
+  int64_t total = 93;  // Header + epoch + seq + quorum state + DB generation.
   for (const WorkerHint& hint : p.workers) {
     total += 24 + static_cast<int64_t>(hint.worker_type.size());
   }

@@ -43,6 +43,7 @@ enum SnsMsgType : uint32_t {
   kMsgFetchRequest,
   kMsgFetchResponse,
   kMsgMonitorReport,
+  kMsgProfilePutAck,
 };
 
 enum class ComponentKind {
@@ -105,6 +106,10 @@ struct RegisterComponentPayload : Payload {
   // registration stamped with a higher epoch knows a newer incarnation exists and
   // demotes itself (split-brain fencing). 0 = sender has not seen any beacon.
   uint64_t manager_epoch = 0;
+  // Incarnation number of the sending component itself (today: the profile DB).
+  // The manager keeps only the highest generation it has seen, so a fenced-off
+  // stale incarnation can never re-enter the beacon after its successor is up.
+  uint64_t component_generation = 0;
 };
 
 struct LoadReportPayload : Payload {
@@ -118,6 +123,7 @@ struct LoadReportPayload : Payload {
   bool interchangeable = true;
   int fe_index = -1;
   uint64_t manager_epoch = 0;  // Same fencing role as RegisterComponentPayload's.
+  uint64_t component_generation = 0;  // Same role as RegisterComponentPayload's.
 };
 
 // One worker's entry in the manager's beaconed load hints.
@@ -140,6 +146,16 @@ struct ManagerBeaconPayload : Payload {
   std::vector<WorkerHint> workers;
   std::vector<Endpoint> cache_nodes;
   Endpoint profile_db;  // Invalid if none registered.
+  // Generation of the profile DB endpoint above; a DB incarnation observing a
+  // higher generation in a current-epoch beacon knows it has been superseded
+  // across a fenced failover and self-demotes.
+  uint64_t profile_db_generation = 0;
+  // Quorum state of the beaconing manager's regroup view. A degraded (minority)
+  // manager keeps beaconing with quorate=false so its side's front ends fail
+  // writes fast instead of timing out, and don't stampede watchdog relaunches.
+  bool quorate = true;
+  int32_t votes_held = 0;
+  int32_t votes_total = 0;
 };
 
 // Stub -> manager: no live worker of this type is known; please spawn one.
@@ -216,6 +232,17 @@ struct ProfileGetPayload : Payload {
 
 struct ProfilePutPayload : Payload {
   UserProfile profile;
+  // Write-ack contract (DESIGN.md §14): when reply_to is valid the DB replies
+  // with a ProfilePutAckPayload carrying op_id after the commit lands (or with
+  // the refusal reason). Defaults keep the legacy fire-and-forget shape.
+  uint64_t op_id = 0;
+  Endpoint reply_to;
+};
+
+// DB -> front end: outcome of an acknowledged profile write.
+struct ProfilePutAckPayload : Payload {
+  uint64_t op_id = 0;
+  Status status;  // Ok only after the write is durable in the shared store.
 };
 
 struct ProfileReplyPayload : Payload {

@@ -8,12 +8,21 @@ ProfileDbProcess::ProfileDbProcess(const ProfileDbConfig& config, KvStore* store
     : Process("profile-db"), config_(config), store_(store) {}
 
 void ProfileDbProcess::OnStart() {
+  writes_nonquorate_ = metrics()->GetCounter("profiledb.writes_nonquorate");
+  writes_rejected_counter_ = metrics()->GetCounter("profiledb.writes_rejected");
+  superseded_counter_ = metrics()->GetCounter("profiledb.superseded");
   JoinGroup(kGroupManagerBeacon);
   // ACID recovery: replay the WAL from "disk" before serving (§3.1.3 contrasts this
   // with the soft-state components, which need no such step).
   auto recovered = store_->Recover();
   if (recovered.ok()) {
-    SNS_LOG(kInfo, "profile-db") << "recovered " << *recovered << " WAL records";
+    SNS_LOG(kInfo, "profile-db") << "generation " << config_.generation << " recovered "
+                                 << *recovered << " WAL records";
+  }
+  // Take the store reservation: from here on, commits from older generations
+  // bounce at the bus (the storage-side half of fencing).
+  if (config_.reservation != nullptr) {
+    config_.reservation->Claim(config_.generation);
   }
   heartbeat_timer_ =
       std::make_unique<PeriodicTimer>(sim(), Seconds(1), [this] { Heartbeat(); });
@@ -26,12 +35,14 @@ void ProfileDbProcess::OnStop() {
 }
 
 void ProfileDbProcess::Heartbeat() {
-  if (!manager_.valid()) {
+  if (!manager_.valid() || superseded_) {
     return;
   }
   auto payload = std::make_shared<LoadReportPayload>();
   payload->kind = ComponentKind::kProfileDb;
   payload->component = endpoint();
+  payload->manager_epoch = manager_epoch_seen_;
+  payload->component_generation = config_.generation;
   Message msg;
   msg.dst = manager_;
   msg.type = kMsgLoadReport;
@@ -41,15 +52,47 @@ void ProfileDbProcess::Heartbeat() {
   Send(std::move(msg));
 }
 
+void ProfileDbProcess::Supersede(const char* evidence) {
+  if (superseded_) {
+    return;
+  }
+  superseded_ = true;
+  superseded_counter_->Increment();
+  SNS_LOG(kWarning, "profile-db") << "generation " << config_.generation
+                                  << " superseded via " << evidence << "; self-demoting";
+  heartbeat_timer_.reset();
+  // Crash destroys this process object; defer it out of the current dispatch.
+  Cluster* owner = cluster();
+  ProcessId me = pid();
+  sim()->Schedule(0, [owner, me] {
+    if (owner->Find(me) != nullptr) {
+      owner->Crash(me);
+    }
+  });
+}
+
 void ProfileDbProcess::OnMessage(const Message& msg) {
+  if (superseded_) {
+    return;
+  }
   switch (msg.type) {
     case kMsgManagerBeacon: {
       const auto& beacon = static_cast<const ManagerBeaconPayload&>(*msg.payload);
+      if (beacon.epoch < manager_epoch_seen_) {
+        break;  // Stale manager incarnation; ignore (same fencing as the stubs).
+      }
+      manager_epoch_seen_ = beacon.epoch;
+      if (config_.generation > 0 && beacon.profile_db_generation > config_.generation) {
+        Supersede("beacon generation");
+        break;
+      }
       if (beacon.manager != manager_) {
         manager_ = beacon.manager;
         auto payload = std::make_shared<RegisterComponentPayload>();
         payload->kind = ComponentKind::kProfileDb;
         payload->component = endpoint();
+        payload->manager_epoch = manager_epoch_seen_;
+        payload->component_generation = config_.generation;
         Message out;
         out.dst = manager_;
         out.type = kMsgRegisterComponent;
@@ -98,8 +141,49 @@ void ProfileDbProcess::HandleGet(const Message& msg) {
 void ProfileDbProcess::HandlePut(const Message& msg) {
   auto put = std::static_pointer_cast<const ProfilePutPayload>(msg.payload);
   RunOnCpu(config_.commit_latency, [this, put] {
-    ++writes_;
-    store_->Put(put->profile.user_id(), put->profile.Serialize());
+    // The write-ack contract (DESIGN.md §14): evaluate quorum and the store
+    // reservation at the commit instant, not at arrival — the partition may
+    // have happened while this write sat in the CPU queue.
+    Status status = Status::Ok();
+    bool quorate = true;
+    if (config_.membership != nullptr) {
+      quorate = config_.membership->Regroup(node(), sim()->now()).quorate;
+    }
+    if (config_.reservation != nullptr &&
+        !config_.reservation->HeldBy(config_.generation)) {
+      // A newer incarnation reserved the store: this write must not land, and
+      // this incarnation must die rather than race its successor.
+      status = UnavailableError("profile db superseded; write refused");
+      ++writes_rejected_;
+      writes_rejected_counter_->Increment();
+      Supersede("store reservation");
+    } else if (config_.quorum_write_gate && !quorate) {
+      // Minority side: refusing here (rather than committing and hoping) is
+      // what makes "no minority partition ever acknowledges a write" hold.
+      status = UnavailableError("profile db not quorate; write refused");
+      ++writes_rejected_;
+      writes_rejected_counter_->Increment();
+    } else {
+      ++writes_;
+      if (!quorate) {
+        // Only reachable with the gate off (the pre-quorum baseline): a
+        // minority-side commit the campaign invariant flags as a violation.
+        writes_nonquorate_->Increment();
+      }
+      store_->Put(put->profile.user_id(), put->profile.Serialize());
+    }
+    if (put->reply_to.valid()) {
+      auto ack = std::make_shared<ProfilePutAckPayload>();
+      ack->op_id = put->op_id;
+      ack->status = status;
+      Message out;
+      out.dst = put->reply_to;
+      out.type = kMsgProfilePutAck;
+      out.transport = Transport::kReliable;
+      out.size_bytes = 64;
+      out.payload = ack;
+      Send(std::move(out));
+    }
   });
 }
 

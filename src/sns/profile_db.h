@@ -10,6 +10,8 @@
 #include <memory>
 
 #include "src/cluster/process.h"
+#include "src/quorum/fencing.h"
+#include "src/quorum/membership.h"
 #include "src/sim/timer.h"
 #include "src/sns/config.h"
 #include "src/sns/messages.h"
@@ -21,6 +23,20 @@ namespace sns {
 struct ProfileDbConfig {
   SimDuration read_latency = Microseconds(400);   // Index lookup, page cached.
   SimDuration commit_latency = Milliseconds(6);   // WAL append + fsync.
+  // Incarnation number, allocated monotonically by the launcher across fenced
+  // failovers. 0 (unit tests, hand-built processes) disables generation fencing.
+  uint64_t generation = 0;
+  // Quorum oracle (owned by SnsSystem). When set, every commit runs a regroup
+  // round from the DB's node at the commit instant; a write applied while
+  // non-quorate bumps profiledb.writes_nonquorate, and with `quorum_write_gate`
+  // set it is refused outright (nacked, nothing hits the store). Null keeps the
+  // pre-quorum behavior.
+  MembershipService* membership = nullptr;
+  bool quorum_write_gate = false;
+  // SCSI-reserve analog on the shared store: a commit from an incarnation that
+  // lost the reservation to a newer generation is refused and the stale
+  // incarnation self-demotes. Null = unreserved store.
+  StoreReservation* reservation = nullptr;
 };
 
 class ProfileDbProcess : public Process {
@@ -35,18 +51,29 @@ class ProfileDbProcess : public Process {
 
   int64_t reads() const { return reads_; }
   int64_t writes() const { return writes_; }
+  int64_t writes_rejected() const { return writes_rejected_; }
+  uint64_t generation() const { return config_.generation; }
 
  private:
   void HandleGet(const Message& msg);
   void HandlePut(const Message& msg);
   void Heartbeat();
+  // A current-epoch beacon advertised a newer DB generation: this incarnation
+  // was failed over while stranded. Stop serving and self-crash (deferred).
+  void Supersede(const char* evidence);
 
   ProfileDbConfig config_;
   KvStore* store_;
   Endpoint manager_;
+  uint64_t manager_epoch_seen_ = 0;
+  bool superseded_ = false;
   std::unique_ptr<PeriodicTimer> heartbeat_timer_;
   int64_t reads_ = 0;
   int64_t writes_ = 0;
+  int64_t writes_rejected_ = 0;
+  Counter* writes_nonquorate_ = nullptr;
+  Counter* writes_rejected_counter_ = nullptr;
+  Counter* superseded_counter_ = nullptr;
 };
 
 }  // namespace sns

@@ -7,9 +7,16 @@
 namespace sns {
 
 SnsSystem::SnsSystem(const SnsConfig& config, const SystemTopology& topology)
-    : config_(config), topology_(topology), san_(&sim_, topology.san), cluster_(&sim_, &san_) {
+    : config_(config),
+      topology_(topology),
+      san_(&sim_, topology.san),
+      cluster_(&sim_, &san_),
+      profile_reservation_(/*enforce=*/config.stonith_fencing) {
   san_.set_event_log(&event_log_);
   san_.BindMetrics(cluster_.metrics());
+  quorum_disk_ = std::make_unique<QuorumDisk>(&quorum_disk_store_, config_.quorum_disk_lease);
+  membership_ = std::make_unique<MembershipService>(&san_, quorum_disk_.get());
+  fence_agent_ = std::make_unique<FenceAgent>(&cluster_);
 }
 
 SnsSystem::~SnsSystem() = default;
@@ -65,6 +72,20 @@ void SnsSystem::Start() {
   overflow.overflow_pool = true;
   overflow_pool_ = cluster_.AddNodes(topology_.overflow_nodes, overflow);
 
+  // --- Membership: every infrastructure node carries votes (cman's per-node
+  // `votes`). Client nodes added later by services never register votes, so load
+  // generators cannot tip a quorum. The initial renewing regroup from the
+  // manager's node seeds the quorum gauges and claims the quorum-disk lease for
+  // the incumbent side, so a later even split breaks toward it.
+  for (NodeId node : cluster_.AllNodes()) {
+    membership_->SetVotes(node, config_.node_votes);
+  }
+  membership_->BindMetrics(cluster_.metrics());
+  fence_agent_->BindMetrics(cluster_.metrics());
+  if (config_.quorum_membership) {
+    membership_->Regroup(manager_node_, sim_.now(), /*renew=*/true);
+  }
+
   // --- Flight recorder: sample every metric + per-node CPU on a fixed cadence. ---
   recorder_ = std::make_unique<TimeSeriesRecorder>(cluster_.metrics(),
                                                    config_.timeseries_interval);
@@ -77,7 +98,8 @@ void SnsSystem::Start() {
 
   // --- Spawn the infrastructure processes. ---
   manager_pid_ = cluster_.Spawn(
-      manager_node_, std::make_unique<ManagerProcess>(config_, this, ++next_manager_epoch_));
+      manager_node_, std::make_unique<ManagerProcess>(config_, this, ++next_manager_epoch_,
+                                                      membership_.get()));
   // Cache nodes surface their rebalance windows in the flight recorder.
   topology_.cache.event_log = &event_log_;
   for (int i = 0; i < topology_.cache_nodes; ++i) {
@@ -86,9 +108,7 @@ void SnsSystem::Start() {
         std::make_unique<CacheNodeProcess>(config_, topology_.cache)));
   }
   if (topology_.with_profile_db) {
-    profile_db_pid_ = cluster_.Spawn(
-        profile_db_node_,
-        std::make_unique<ProfileDbProcess>(topology_.profile_db, &profile_store_));
+    RelaunchProfileDb();
   }
   if (topology_.with_monitor) {
     monitor_pid_ =
@@ -130,6 +150,7 @@ int SnsSystem::AddFrontEnd() {
   fe.workers_allowed = false;
   fe.link = topology_.fe_link;
   fe_nodes_.push_back(cluster_.AddNode(fe));
+  membership_->SetVotes(fe_nodes_.back(), config_.node_votes);
   AddNodeProbes(fe_nodes_.back());
   fe_pids_.push_back(kInvalidProcess);
   int fe_index = static_cast<int>(fe_pids_.size()) - 1;
@@ -153,9 +174,12 @@ ProcessId SnsSystem::RelaunchManager(NodeId requester) {
     return manager_pid_;  // Alive and visible to the requester: idempotent no-op.
   }
   // Either no manager exists, or the incumbent is stranded on the far side of a SAN
-  // partition from the requester. In the latter case failover must not be blocked by
-  // the unreachable incumbent: spawn a replacement with a higher epoch on the
-  // requester's side. Epoch fencing demotes the loser once the partition heals.
+  // partition from the requester. Failover must not be blocked by the unreachable
+  // incumbent — but only a quorate side may promote: a minority-side watchdog is
+  // refused, so at most one side of any partition ever runs an acting manager.
+  if (!RequesterQuorate(requester, "relaunch-manager")) {
+    return kInvalidProcess;
+  }
   NodeId node = PickUpNodePreferring(manager_node_, requester);
   if (node == kInvalidNode) {
     SNS_LOG(kError, "system") << "no node available to restart the manager";
@@ -165,9 +189,20 @@ ProcessId SnsSystem::RelaunchManager(NodeId requester) {
     SNS_LOG(kWarning, "system")
         << "manager on node " << incumbent->node() << " unreachable from node " << requester
         << "; launching epoch " << next_manager_epoch_ + 1 << " on node " << node;
+    // STONITH: kill the alive-but-unreachable incumbent through the fence
+    // device's out-of-band channel before the successor exists, so the two
+    // incarnations never coexist (epoch fencing then becomes a backstop, not
+    // the primary mechanism).
+    if (config_.stonith_fencing) {
+      fence_agent_->Fence(manager_pid_,
+                          StrFormat("stale manager epoch %llu, promoting epoch %llu",
+                                    static_cast<unsigned long long>(next_manager_epoch_),
+                                    static_cast<unsigned long long>(next_manager_epoch_ + 1)));
+    }
   }
   manager_pid_ = cluster_.Spawn(
-      node, std::make_unique<ManagerProcess>(config_, this, ++next_manager_epoch_));
+      node, std::make_unique<ManagerProcess>(config_, this, ++next_manager_epoch_,
+                                             membership_.get()));
   // Restoring the control plane restores the configured roster: a freshly started
   // manager has empty soft state, so front ends (or the profile DB) that died in
   // the same window would otherwise never come back — the launcher owns the
@@ -175,7 +210,7 @@ ProcessId SnsSystem::RelaunchManager(NodeId requester) {
   for (int i = 0; i < static_cast<int>(fe_pids_.size()); ++i) {
     RelaunchFrontEnd(i, requester);
   }
-  RelaunchProfileDb();
+  RelaunchProfileDb(requester);
   return manager_pid_;
 }
 
@@ -188,6 +223,9 @@ ProcessId SnsSystem::RelaunchFrontEnd(int fe_index, NodeId requester) {
       fe_pids_[idx] != kInvalidProcess ? cluster_.Find(fe_pids_[idx]) : nullptr;
   if (incumbent != nullptr && RequesterCanReach(requester, incumbent->node())) {
     return fe_pids_[idx];
+  }
+  if (!RequesterQuorate(requester, "relaunch-front-end")) {
+    return kInvalidProcess;
   }
   NodeId node = PickUpNodePreferring(fe_nodes_[idx], requester);
   if (node == kInvalidNode || !logic_factory_) {
@@ -202,20 +240,40 @@ ProcessId SnsSystem::RelaunchFrontEnd(int fe_index, NodeId requester) {
   return fe_pids_[idx];
 }
 
-ProcessId SnsSystem::RelaunchProfileDb() {
+ProcessId SnsSystem::RelaunchProfileDb(NodeId requester) {
   if (!topology_.with_profile_db) {
     return kInvalidProcess;
   }
-  if (profile_db_pid_ != kInvalidProcess && cluster_.Find(profile_db_pid_) != nullptr) {
-    return profile_db_pid_;
+  Process* incumbent =
+      profile_db_pid_ != kInvalidProcess ? cluster_.Find(profile_db_pid_) : nullptr;
+  if (incumbent != nullptr && RequesterCanReach(requester, incumbent->node())) {
+    return profile_db_pid_;  // Alive and visible to the requester: idempotent no-op.
   }
-  NodeId node = PickUpNodePreferring(profile_db_node_, kInvalidNode);
+  if (!RequesterQuorate(requester, "relaunch-profile-db")) {
+    return kInvalidProcess;
+  }
+  NodeId node = PickUpNodePreferring(profile_db_node_, requester);
   if (node == kInvalidNode) {
     return kInvalidProcess;
   }
-  // The new primary recovers from the shared WAL ("disk") in OnStart.
+  if (incumbent != nullptr && config_.stonith_fencing) {
+    // Fence the stranded incumbent before its successor recovers the WAL, so a
+    // stale primary can never commit (and falsely acknowledge) a write after
+    // the failover. The store reservation is the belt to this suspender.
+    fence_agent_->Fence(profile_db_pid_,
+                        StrFormat("stale profile db generation %llu, promoting %llu",
+                                  static_cast<unsigned long long>(next_profile_db_generation_),
+                                  static_cast<unsigned long long>(next_profile_db_generation_ + 1)));
+  }
+  // The new primary recovers from the shared WAL ("disk") in OnStart and claims
+  // the store reservation with its (strictly higher) generation.
+  ProfileDbConfig db_config = topology_.profile_db;
+  db_config.generation = ++next_profile_db_generation_;
+  db_config.membership = membership_.get();
+  db_config.quorum_write_gate = config_.quorum_membership;
+  db_config.reservation = &profile_reservation_;
   profile_db_pid_ = cluster_.Spawn(
-      node, std::make_unique<ProfileDbProcess>(topology_.profile_db, &profile_store_));
+      node, std::make_unique<ProfileDbProcess>(db_config, &profile_store_));
   return profile_db_pid_;
 }
 
@@ -259,6 +317,20 @@ bool SnsSystem::RequesterCanReach(NodeId requester, NodeId target) const {
     return true;  // No vantage point (bootstrap, tests): existence suffices.
   }
   return san_.NodeUp(target) && san_.Reachable(requester, target);
+}
+
+bool SnsSystem::RequesterQuorate(NodeId requester, const char* action) {
+  if (!config_.quorum_membership || requester == kInvalidNode) {
+    return true;
+  }
+  MembershipView view = membership_->Regroup(requester, sim_.now());
+  if (!view.quorate) {
+    SNS_LOG(kWarning, "system")
+        << action << " from node " << requester << " refused: minority partition ("
+        << view.votes_held << "/" << view.votes_total << " votes)";
+    return false;
+  }
+  return true;
 }
 
 ManagerProcess* SnsSystem::manager() const {

@@ -22,6 +22,9 @@
 #include "src/cluster/cluster.h"
 #include "src/net/san.h"
 #include "src/obs/events.h"
+#include "src/quorum/fencing.h"
+#include "src/quorum/membership.h"
+#include "src/quorum/quorum_disk.h"
 #include "src/obs/timeseries.h"
 #include "src/sim/simulator.h"
 #include "src/sim/timer.h"
@@ -104,7 +107,7 @@ class SnsSystem : public ComponentLauncher {
   ProcessId LaunchWorker(const std::string& type, NodeId node) override;
   ProcessId RelaunchManager(NodeId requester = kInvalidNode) override;
   ProcessId RelaunchFrontEnd(int fe_index, NodeId requester = kInvalidNode) override;
-  ProcessId RelaunchProfileDb() override;
+  ProcessId RelaunchProfileDb(NodeId requester = kInvalidNode) override;
 
   // --- Operations -------------------------------------------------------------------
   // Hot upgrade (§1.2 / §2.1: "temporarily disable a subset of nodes and then
@@ -143,6 +146,14 @@ class SnsSystem : public ComponentLauncher {
   std::vector<CacheNodeProcess*> cache_node_processes() const;
   ProfileDbProcess* profile_db() const;
   KvStore* profile_store() { return &profile_store_; }
+  // Generation of the most recently launched profile-DB incarnation (1 = original).
+  uint64_t profile_db_generation() const { return next_profile_db_generation_; }
+  // Quorum subsystem (DESIGN.md §14). Always constructed; config_.quorum_membership
+  // and config_.stonith_fencing govern whether anything consults/arms them.
+  MembershipService* membership() { return membership_.get(); }
+  QuorumDisk* quorum_disk() { return quorum_disk_.get(); }
+  FenceAgent* fence_agent() { return fence_agent_.get(); }
+  StoreReservation* profile_reservation() { return &profile_reservation_; }
   Endpoint origin_endpoint() const { return origin_endpoint_; }
   Process* origin_process() const;
 
@@ -164,6 +175,10 @@ class SnsSystem : public ComponentLauncher {
   // True when `requester` has no vantage point (kInvalidNode) or `target` is up and
   // on the requester's side of any SAN partition.
   bool RequesterCanReach(NodeId requester, NodeId target) const;
+  // Quorum gate for relaunches: a requester on a minority side of a partition may
+  // not promote replacement incumbents. Always true when quorum is off or the
+  // requester has no vantage point.
+  bool RequesterQuorate(NodeId requester, const char* action);
 
   SnsConfig config_;
   SystemTopology topology_;
@@ -172,6 +187,13 @@ class SnsSystem : public ComponentLauncher {
   Cluster cluster_;
   WorkerRegistry registry_;
   KvStore profile_store_;
+  // The quorum disk's backing store is separate from the profile store: it models
+  // a dedicated shared-SCSI partition, not the profile database's disk.
+  KvStore quorum_disk_store_;
+  std::unique_ptr<QuorumDisk> quorum_disk_;
+  std::unique_ptr<MembershipService> membership_;
+  std::unique_ptr<FenceAgent> fence_agent_;
+  StoreReservation profile_reservation_;
   EventLog event_log_;
   std::unique_ptr<TimeSeriesRecorder> recorder_;
   std::unique_ptr<PeriodicTimer> recorder_timer_;
@@ -193,6 +215,7 @@ class SnsSystem : public ComponentLauncher {
   std::vector<ProcessId> fe_pids_;
   std::vector<ProcessId> cache_pids_;
   ProcessId profile_db_pid_ = kInvalidProcess;
+  uint64_t next_profile_db_generation_ = 0;  // Incremented per DB launch; first is 1.
   ProcessId monitor_pid_ = kInvalidProcess;
   ProcessId origin_pid_ = kInvalidProcess;
   Endpoint origin_endpoint_;

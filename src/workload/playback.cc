@@ -102,6 +102,7 @@ uint64_t PlaybackEngine::SendRequest(const TraceRecord& record,
   PendingRequest pending;
   pending.sent_at = sim()->now();
   pending.deadline = payload->deadline;
+  pending.user_id = record.user_id;
   pending.trace = StartTrace();  // Root span: the whole client-observed request.
   pending.timeout = After(config_.request_timeout, [this, id] {
     auto it = pending_.find(id);
@@ -148,10 +149,14 @@ void PlaybackEngine::OnMessage(const Message& msg) {
   }
   double latency = ToSeconds(sim()->now() - it->second.sent_at);
   SimTime deadline = it->second.deadline;
+  std::string user_id = std::move(it->second.user_id);
   RecordSpan(it->second.trace, "client.request", it->second.sent_at,
              reply.status.ok() ? "ok" : "error");
   CancelTimer(it->second.timeout);
   pending_.erase(it);
+  if (config_.on_response) {
+    config_.on_response(user_id, reply.status.ok());
+  }
 
   ++completed_;
   if (reply.status.ok() && deadline != kTimeNever && sim()->now() > deadline) {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,11 @@ struct PlaybackConfig {
   // Client-side load balancing: returns the currently live front ends. Re-queried
   // for every request, masking transient FE failures (§3.1.2).
   std::function<std::vector<Endpoint>()> front_ends;
+  // Fired once per completed request (not for timeouts / send failures) with the
+  // request's user id and whether the service answered Ok. The chaos campaign's
+  // write ledger uses this to mark which profile writes the client saw
+  // acknowledged.
+  std::function<void(const std::string& user_id, bool ok)> on_response;
 };
 
 class PlaybackEngine : public Process {
@@ -84,6 +90,7 @@ class PlaybackEngine : public Process {
     SimTime deadline = kTimeNever;
     EventId timeout = kInvalidEventId;
     TraceContext trace;  // Root span of the request's end-to-end trace.
+    std::string user_id;
   };
 
   void OnMessage(const Message& msg) override;

@@ -77,26 +77,34 @@ TEST(ChaosCampaignTest, TwentySeededSchedulesHoldAllInvariants) {
 }
 
 // Golden replay: pins the exact event sequence of the simulator core across
-// rewrites. The trace below was captured on the pre-wheel binary-heap engine
-// (seed 0x601D, this SmokeConfig) via tools/dump_chaos_trace; the timer-wheel
-// core must reproduce it byte for byte — any divergence means event ordering
-// changed, which breaks replay-based debugging across versions. Regenerate with
-// tools/dump_chaos_trace ONLY for an intended behavior change, and say so in
-// the commit message.
+// rewrites — any divergence means event ordering changed, which breaks
+// replay-based debugging across versions. Regenerate with tools/dump_chaos_trace
+// ONLY for an intended behavior change, and say so in the commit message. The
+// trace below was regenerated for the quorum/fencing PR (seed 0x601D, this
+// SmokeConfig): the census carries a quorate count, the trace appends the
+// fence-agent and membership-transition logs, and the final line reports the
+// durable-write ledger — under quorum defaults this schedule now resolves by
+// degrade-then-fence instead of the old split-brain-then-demote.
 TEST(ChaosCampaignTest, ReplayMatchesGoldenCensusTrace) {
   Logger::Get().set_min_level(LogLevel::kNone);
   FaultSchedule schedule = GenerateSchedule(0x601D, SmokeConfig().gen);
   ChaosRunResult run = RunSchedule(schedule, SmokeConfig());
   EXPECT_TRUE(run.passed()) << run.Describe() << run.trace;
   const std::string kGolden =
-      "t=0:00:10.000 managers=1 epoch=1\n"
-      "t=0:00:28.500 managers=2 epoch=2\n"
-      "t=0:00:40.000 managers=1 epoch=2\n"
-      "t=0:00:15.791 partition group 1 (3 nodes)\n"
-      "t=0:00:24.757 partition group 2 (1 nodes)\n"
-      "t=0:00:29.176 heal group 1\n"
-      "t=0:00:38.679 heal group 2\n"
-      "final managers=1 epoch=2 demotions=1\n";
+      "t=0:00:10.000 managers=1 quorate=1 epoch=1\n"
+      "t=0:00:15.791 beacon loss on group 1 for 0:00:13.385\n"
+      "t=0:00:24.757 partition group 1 (1 nodes)\n"
+      "t=0:00:38.679 heal group 1\n"
+      "t=0:00:25.500 fence kill pid=1 node=0 (stale manager epoch 1, promoting epoch 2)\n"
+      "t=0:00:00.000 regroup#1 node=0 members=13 votes=13/13 quorate=1\n"
+      "t=0:00:10.526 regroup#2 node=5 members=13 votes=13/13 quorate=1\n"
+      "t=0:00:25.010 regroup#3 node=0 members=1 votes=1/13 quorate=0\n"
+      "t=0:00:25.010 manager epoch=1 degraded (votes 1/13)\n"
+      "t=0:00:25.017 regroup#4 node=5 members=12 votes=12/13 quorate=1\n"
+      "t=0:00:25.500 regroup#5 node=1 members=12 votes=12/13 quorate=1\n"
+      "t=0:00:39.019 regroup#6 node=5 members=13 votes=13/13 quorate=1\n"
+      "t=0:00:39.510 regroup#7 node=1 members=13 votes=13/13 quorate=1\n"
+      "final managers=1 epoch=2 demotions=0 fence_kills=1 writes acked=88/90 lost=0 nonquorate=0\n";
   EXPECT_EQ(run.trace, kGolden);
 }
 
@@ -113,13 +121,18 @@ TEST(ChaosCampaignTest, ReplayIsDeterministic) {
   EXPECT_EQ(first.max_concurrent_managers, second.max_concurrent_managers);
 }
 
-// The tentpole scenario: partitioning the manager's node forces the majority side
-// to fail over while the stranded incumbent is still alive — two concurrent
+// The PR 3 tentpole scenario: partitioning the manager's node forces the majority
+// side to fail over while the stranded incumbent is still alive — two concurrent
 // incarnations — and epoch fencing demotes the loser within a beacon period of
-// the heal, so every invariant holds at quiesce.
+// the heal, so every invariant holds at quiesce. Quorum membership and STONITH
+// (PR 8) are pinned off: with them on the stranded incumbent is shot at failover
+// time and the split-brain window this test is about never opens.
 TEST(ChaosCampaignTest, ManagerPartitionCreatesAndResolvesSplitBrain) {
   Logger::Get().set_min_level(LogLevel::kNone);
-  ChaosRunResult run = RunSchedule(ManagerPartitionSchedule(0x5B17), SmokeConfig());
+  CampaignConfig config = SmokeConfig();
+  config.quorum_membership = false;
+  config.stonith_fencing = false;
+  ChaosRunResult run = RunSchedule(ManagerPartitionSchedule(0x5B17), config);
   EXPECT_TRUE(run.passed()) << run.Describe() << run.trace;
   EXPECT_GE(run.max_concurrent_managers, 2) << run.trace;
   EXPECT_GE(run.final_manager_epoch, 2u);
@@ -133,6 +146,8 @@ TEST(ChaosCampaignTest, FencingOffReproducesPersistentSplitBrain) {
   Logger::Get().set_min_level(LogLevel::kNone);
   CampaignConfig config = SmokeConfig();
   config.epoch_fencing = false;
+  config.quorum_membership = false;
+  config.stonith_fencing = false;
   ChaosRunResult run = RunSchedule(ManagerPartitionSchedule(0x5B17), config);
   EXPECT_FALSE(run.passed()) << run.Describe() << run.trace;
   EXPECT_GE(run.max_concurrent_managers, 2);
@@ -149,6 +164,8 @@ TEST(ChaosMinimizerTest, ShrinksFailingScheduleToMinimalRepro) {
   Logger::Get().set_min_level(LogLevel::kNone);
   CampaignConfig config = SmokeConfig();
   config.epoch_fencing = false;  // Guarantees the partition event alone fails.
+  config.quorum_membership = false;
+  config.stonith_fencing = false;  // STONITH would resolve the split instead.
   FaultSchedule schedule = ManagerPartitionSchedule(0x31);
   // Pad with noise the system masks on its own; the minimizer should strip it.
   FaultEvent crash;
@@ -196,6 +213,10 @@ TEST(PartitionToleranceTest, MajorityFailsOverWhileMinorityManagerAlive) {
   Logger::Get().set_min_level(LogLevel::kNone);
   TranSendOptions options = DefaultTranSendOptions();
   options.topology.worker_pool_nodes = 4;
+  // Epoch-only story (PR 3): quorum + STONITH would fence the minority-side
+  // incumbent at failover instead of leaving it alive to demote after the heal.
+  options.sns.quorum_membership = false;
+  options.sns.stonith_fencing = false;
   TranSendService service(options);
   service.Start();
   service.sim()->RunFor(Seconds(3));

@@ -269,6 +269,14 @@ TEST(MonitorExportTest, SnapshotCarriesRegistryMetricsAndComponents) {
             std::string::npos);
   EXPECT_GT(fe->completed_requests(), 0);
 
+  // Quorum membership and fencing state (DESIGN.md §14) export through the same
+  // registry dump: the epoch and vote gauges plus the fence-kill counter.
+  EXPECT_NE(json.find("\"manager.epoch\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"quorum.is_quorate\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"quorum.votes_held\":"), std::string::npos);
+  EXPECT_NE(json.find("\"quorum.votes_total\":"), std::string::npos);
+  EXPECT_NE(json.find("\"fencing.kills\":0"), std::string::npos);
+
   // Structure: time, metrics, the monitor's component view, alarms.
   EXPECT_EQ(json.rfind("{\"time_ns\":", 0), 0u);
   EXPECT_NE(json.find("\"components\":["), std::string::npos);

@@ -412,7 +412,7 @@ class CountingLauncher : public ComponentLauncher {
     return kInvalidProcess;
   }
   ProcessId RelaunchFrontEnd(int, NodeId) override { return kInvalidProcess; }
-  ProcessId RelaunchProfileDb() override { return kInvalidProcess; }
+  ProcessId RelaunchProfileDb(NodeId) override { return kInvalidProcess; }
 
   int manager_relaunches = 0;
 };

@@ -1,5 +1,10 @@
 // Prints the deterministic event/census trace of one fixed-seed chaos run.
 //
+// Since the quorum/fencing PR the trace also carries the fence-agent kill log
+// and per-vantage membership (regroup) transitions, and each census line and
+// the final line report quorate-manager counts and the durable-write ledger
+// totals — so a diff here also catches quorum or fencing behavior drift.
+//
 // Used to (re)generate the golden trace embedded in
 // tests/chaos_test.cc::ReplayMatchesGoldenCensusTrace, which pins the simulator
 // core: any change to event ordering — scheduler rewrite, timer semantics, SAN
@@ -47,6 +52,9 @@ int main(int argc, char** argv) {
   sns::ChaosRunResult result = sns::RunSchedule(schedule, config);
   std::printf("schedule:\n%s", schedule.ToScript().c_str());
   std::printf("passed: %s\n", result.passed() ? "yes" : "no");
+  if (!result.passed()) {
+    std::printf("%s", result.Describe().c_str());
+  }
   std::printf("trace:\n%s", result.trace.c_str());
   return result.passed() ? 0 : 1;
 }
