@@ -35,9 +35,11 @@ TranSendOptions ChaosOptions(const CampaignConfig& config) {
   return options;
 }
 
+}  // namespace
+
 // Resolves a symbolic fault event against the live topology and applies it (via
 // the injector, so it lands in the injector's event log).
-void ApplyFault(const FaultEvent& ev, SnsSystem* system, FailureInjector* injector) {
+void ApplyScheduledFault(const FaultEvent& ev, SnsSystem* system, FailureInjector* injector) {
   Simulator* sim = system->sim();
   SimTime now = sim->now();
   auto pick = [&ev](size_t size) {
@@ -137,8 +139,6 @@ void ApplyFault(const FaultEvent& ev, SnsSystem* system, FailureInjector* inject
   }
 }
 
-}  // namespace
-
 std::string ChaosRunResult::Describe() const {
   std::string out = schedule.ToScript();
   out += StrFormat(
@@ -231,7 +231,7 @@ ChaosRunResult RunSchedule(const FaultSchedule& schedule, const CampaignConfig& 
   SimTime fault_start = sim->now();
   for (const FaultEvent& ev : schedule.events) {
     sim->ScheduleAt(fault_start + ev.at,
-                    [&ev, system, &injector] { ApplyFault(ev, system, &injector); });
+                    [&ev, system, &injector] { ApplyScheduledFault(ev, system, &injector); });
   }
 
   // Half-second census of live manager incarnations; trace records transitions.

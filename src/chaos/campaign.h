@@ -84,6 +84,15 @@ struct ChaosRunResult {
 
 ChaosRunResult RunSchedule(const FaultSchedule& schedule, const CampaignConfig& config);
 
+// Resolves one symbolic fault event against the live topology and applies it
+// through `injector` (so it lands in the injector's deterministic event log).
+// Shared by the campaign runner and the scenario-matrix harness, which drives
+// the same generated schedules under arbitrary workloads.
+class SnsSystem;
+class FailureInjector;
+void ApplyScheduledFault(const FaultEvent& event, SnsSystem* system,
+                         FailureInjector* injector);
+
 struct CampaignResult {
   std::vector<ChaosRunResult> runs;
   int failed = 0;

@@ -66,6 +66,13 @@ struct SnsConfig {
   // Votes per infrastructure node (cman's per-node `votes`, default 1). Client /
   // load-generator nodes always carry zero votes.
   int node_votes = 1;
+  // Core-weighted vote layout: when > 0, the service-core nodes (manager, front
+  // ends, cache nodes, profile DB, origin) carry this many votes each while the
+  // worker-pool and overflow nodes keep `node_votes`. Weighting the core means a
+  // partition that strands half the (numerous, stateless) worker pool cannot
+  // cost the manager quorum over the stateful tier — the cman per-node `votes`
+  // knob applied along Gray's clones-vs-partitions split. 0 = uniform layout.
+  int infra_node_votes = 0;
   // STONITH: before a successor is promoted over an incumbent that is alive but
   // unreachable from the requester, the incumbent is killed through the fence
   // agent's out-of-band channel, so two incarnations never coexist even during

@@ -80,6 +80,18 @@ void SnsSystem::Start() {
   for (NodeId node : cluster_.AllNodes()) {
     membership_->SetVotes(node, config_.node_votes);
   }
+  if (config_.infra_node_votes > 0) {
+    // Core-weighted layout: the stateful service core outvotes the worker pool.
+    membership_->SetVotes(manager_node_, config_.infra_node_votes);
+    for (NodeId node : fe_nodes_) membership_->SetVotes(node, config_.infra_node_votes);
+    for (NodeId node : cache_nodes_) membership_->SetVotes(node, config_.infra_node_votes);
+    if (topology_.with_profile_db) {
+      membership_->SetVotes(profile_db_node_, config_.infra_node_votes);
+    }
+    if (topology_.with_origin) {
+      membership_->SetVotes(origin_node_, config_.infra_node_votes);
+    }
+  }
   membership_->BindMetrics(cluster_.metrics());
   fence_agent_->BindMetrics(cluster_.metrics());
   if (config_.quorum_membership) {
@@ -150,7 +162,9 @@ int SnsSystem::AddFrontEnd() {
   fe.workers_allowed = false;
   fe.link = topology_.fe_link;
   fe_nodes_.push_back(cluster_.AddNode(fe));
-  membership_->SetVotes(fe_nodes_.back(), config_.node_votes);
+  membership_->SetVotes(fe_nodes_.back(), config_.infra_node_votes > 0
+                                              ? config_.infra_node_votes
+                                              : config_.node_votes);
   AddNodeProbes(fe_nodes_.back());
   fe_pids_.push_back(kInvalidProcess);
   int fe_index = static_cast<int>(fe_pids_.size()) - 1;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -170,6 +171,142 @@ TEST(CacheReplicationTest, NodeKillRebalancesSurvivorsBackToFullReplication) {
                     static_cast<double>(client->completed() + client->timeouts());
   EXPECT_GT(answered, 0.95);
   EXPECT_EQ(client->errors(), 0);
+}
+
+// Deadline expiry during an active rebalance window: a get that dies of old age
+// in flight is dropped by the cache node as `expired_gets` and must not bleed
+// into the tier's hit/miss accounting — and neither must the migrated keys
+// arriving as rebalance puts. A 12 ms deadline is unreachable by construction:
+// the Harvest protocol pays a fresh TCP setup on both the client->FE and
+// FE->cache hops, so every probe sent under it expires in flight while the
+// survivors' rebalancers are repairing chains underneath the load.
+TEST(CacheReplicationTest, DeadlineExpiryDuringRebalanceIsNotCountedAsMiss) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  TranSendOptions options = ReplicationOptions(2);
+  // Throttle migration hard so the repair window stretches over seconds of sim
+  // time — long enough that deadline-doomed gets provably land inside it.
+  options.sns.cache_rebalance_bytes_per_s = 256.0 * 1024;
+  options.sns.cache_rebalance_burst_bytes = 32.0 * 1024;
+  TranSendService service(options);
+  service.Start();
+  PlaybackEngine* warm = service.AddPlaybackEngine(0x55);
+  service.sim()->RunFor(Seconds(5));
+  DriveLoad(&service, warm, 15, Seconds(30), 0x55);  // Warm the tier, then drain.
+
+  auto total_misses = [&service] {
+    int64_t total = 0;
+    for (CacheNodeProcess* cache : service.system()->cache_node_processes()) {
+      total += cache->misses();
+    }
+    return total;
+  };
+  auto total_expired = [&service] {
+    int64_t total = 0;
+    for (CacheNodeProcess* cache : service.system()->cache_node_processes()) {
+      total += service.system()
+                   ->metrics()
+                   ->GetCounter(StrFormat("cache.n%d.expired_gets", cache->node()))
+                   ->value();
+    }
+    return total;
+  };
+  auto total_rebalance_puts_in = [&service] {
+    int64_t total = 0;
+    for (CacheNodeProcess* cache : service.system()->cache_node_processes()) {
+      total += service.system()
+                   ->metrics()
+                   ->GetCounter(StrFormat("cache.n%d.rebalance_puts_in", cache->node()))
+                   ->value();
+    }
+    return total;
+  };
+
+  // Baseline over the survivors only: the victim's per-process counters vanish
+  // with it, and the whole-episode delta below must compare like with like.
+  std::vector<CacheNodeProcess*> before = service.system()->cache_node_processes();
+  ASSERT_EQ(before.size(), 4u);
+  CacheNodeProcess* victim = before[1];
+  int64_t misses_before = total_misses() - victim->misses();
+  int64_t expired_before = total_expired() -
+                           service.system()
+                               ->metrics()
+                               ->GetCounter(StrFormat("cache.n%d.expired_gets", victim->node()))
+                               ->value();
+  int64_t puts_in_before = total_rebalance_puts_in();
+
+  // Kill one cache node and simultaneously drive load whose deadline cannot be
+  // met, so gets expire while the rebalancers migrate keys underneath them.
+  FailureInjector injector(service.system()->cluster(), service.system()->san());
+  injector.CrashProcessAt(service.sim()->now() + Seconds(1), victim->pid());
+
+  PlaybackConfig expiring;
+  expiring.seed = 0x66;
+  expiring.request_timeout = Seconds(5);
+  expiring.request_deadline = Milliseconds(12);
+  PlaybackEngine* client = service.AddPlaybackEngine(expiring);
+  Rng rng(0x66);
+  ContentUniverse* universe = service.universe();
+  client->StartConstantRate(30, [&rng, universe] {
+    TraceRecord record;
+    record.user_id = "repl";  // Warm profile, so the FE reaches the cache probe.
+    record.url = universe->UrlAt(rng.UniformInt(0, universe->url_count() - 1));
+    return record;
+  });
+
+  // Probe from inside the sim at 1 ms granularity (a pass over a warm 40-URL
+  // universe lasts only a few sim-milliseconds) and pin the counters to the
+  // first and last instants a survivor reports an active pass, so the
+  // expired-vs-miss claim is tied to the rebalance window itself, not just the
+  // episode as a whole.
+  bool saw_window = false;
+  int64_t expired_at_window_start = 0;
+  int64_t misses_at_window_start = 0;
+  int64_t expired_at_window_end = 0;
+  int64_t misses_at_window_end = 0;
+  std::function<void()> probe = [&] {
+    bool active = false;
+    for (CacheNodeProcess* cache : service.system()->cache_node_processes()) {
+      active = active || cache->rebalance_active();
+    }
+    if (active) {
+      if (!saw_window) {
+        saw_window = true;
+        expired_at_window_start = total_expired();
+        misses_at_window_start = total_misses();
+      }
+      expired_at_window_end = total_expired();
+      misses_at_window_end = total_misses();
+    }
+    service.sim()->Schedule(Milliseconds(1), probe);
+  };
+  service.sim()->Schedule(Milliseconds(1), probe);
+  service.sim()->RunFor(Seconds(30));
+  client->StopLoad();
+  service.sim()->RunFor(Seconds(40));  // Drain; let throttled rebalance + echo settle.
+
+  // The episode really contained all three ingredients: a rebalance window,
+  // migrated keys landing as rebalance puts, and gets expiring in flight.
+  ASSERT_TRUE(saw_window) << "no rebalance pass observed after the cache kill";
+  EXPECT_GT(total_rebalance_puts_in(), puts_in_before);
+  EXPECT_GT(total_expired(), expired_before);
+  EXPECT_GT(expired_at_window_end, expired_at_window_start)
+      << "no get expired while a rebalance pass was active";
+
+  // The contract: neither the expired gets nor the migrated keys moved the miss
+  // count — inside the window or across the whole episode.
+  EXPECT_EQ(misses_at_window_end, misses_at_window_start)
+      << "expired/migrated traffic during the rebalance window leaked into misses";
+  EXPECT_EQ(total_misses(), misses_before)
+      << "the kill + expiry episode changed the tier's miss count";
+
+  // Every request under the unreachable deadline was shed, never served late.
+  EXPECT_EQ(client->late_completions(), 0);
+  EXPECT_EQ(client->completed() + client->timeouts() + client->send_failures(),
+            client->sent());
+
+  // And the tier still converged back to full replication behind it all.
+  EXPECT_EQ(service.system()->cache_node_processes().size(), 3u);
+  ExpectFullReplication(&service, 2);
 }
 
 TEST(CacheReplicationTest, FrontEndProfileCacheStaysWithinConfiguredBytes) {

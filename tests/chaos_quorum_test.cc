@@ -329,6 +329,40 @@ TEST(QuorumCampaignTest, TwentySeedsZeroAckedWriteLoss) {
   EXPECT_GT(writes_acked, 0) << "campaign never acknowledged a profile write";
 }
 
+// Cross-feature campaign: the quorum/durability invariants (6-8) and the
+// replicated-cache-tier convergence invariant (5) exercised by the same 20
+// schedules, at R=3 with the fault mix biased toward cache-node crashes on top
+// of the partition/DB faults above. Replica-chain rebalances triggered by
+// cache deaths must converge at quiesce even when the same schedule is
+// simultaneously fencing managers and failing over the profile DB — the two
+// subsystems share the SAN and the membership beacons, so this composition is
+// where independent per-feature campaigns have a blind spot.
+TEST(QuorumCampaignTest, TwentySeedsCacheReplicationThreeConverges) {
+  Logger::Get().set_min_level(LogLevel::kNone);
+  CampaignConfig config = QuorumCampaignConfig();
+  config.cache_replication = 3;
+  config.cache_nodes = 3;
+  // Keep the quorum-heavy mix but make every schedule likely to kill caches.
+  config.gen.kind_weights = {1.0, 1.0, 1.0, 3.0, 1.0, 2.0, 1.0, 1.0, 1.0, 2.0, 2.0};
+  CampaignResult result = RunCampaign(0xCAC3E3, 20, config);
+  std::string failures;
+  int64_t cache_faults = 0;
+  for (const ChaosRunResult& run : result.runs) {
+    if (!run.passed()) {
+      failures += run.Describe() + run.trace;
+    }
+    EXPECT_EQ(run.writes_lost, 0) << run.Describe();
+    EXPECT_EQ(run.nonquorate_writes, 0) << run.Describe();
+    for (const FaultEvent& ev : run.schedule.events) {
+      if (ev.kind == FaultKind::kCrashCacheNode) {
+        ++cache_faults;
+      }
+    }
+  }
+  EXPECT_EQ(result.failed, 0) << result.Summary() << failures;
+  EXPECT_GT(cache_faults, 0) << "campaign never crashed a cache node";
+}
+
 // The regression the tentpole exists to prevent: with quorum, STONITH, and the
 // write-ack contract all off (the PR 3 baseline), partitioning the profile DB
 // while writes flow loses acknowledged writes — the front end fire-and-forgets

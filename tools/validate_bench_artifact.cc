@@ -14,6 +14,7 @@
 // down. No third-party JSON dependency.
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -157,14 +158,39 @@ struct Parser {
     }
   }
 
+  // Strict JSON number grammar: '-'? int frac? exp?, then a finiteness check.
+  // strtod alone would silently accept "NaN"/"Infinity" spellings (and a
+  // printf of a NaN metric produces exactly those), so the scanner enforces
+  // the grammar itself and non-finite values are malformed input.
   bool ParseNumber(double* out) {
     SkipWs();
-    char* num_end = nullptr;
-    double v = std::strtod(p, &num_end);
-    if (num_end == p) {
-      return Fail("expected number");
+    const char* start = p;
+    if (p < end && *p == '-') {
+      ++p;
     }
-    p = num_end;
+    if (p >= end || !isdigit(static_cast<unsigned char>(*p))) {
+      return Fail("malformed number (NaN/Inf are not valid JSON)");
+    }
+    while (p < end && isdigit(static_cast<unsigned char>(*p))) ++p;
+    if (p < end && *p == '.') {
+      ++p;
+      if (p >= end || !isdigit(static_cast<unsigned char>(*p))) {
+        return Fail("malformed number fraction");
+      }
+      while (p < end && isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || !isdigit(static_cast<unsigned char>(*p))) {
+        return Fail("malformed number exponent");
+      }
+      while (p < end && isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    double v = std::strtod(std::string(start, p).c_str(), nullptr);
+    if (!std::isfinite(v)) {
+      return Fail("non-finite number value");
+    }
     if (out != nullptr) {
       *out = v;
     }
@@ -224,6 +250,7 @@ bool ValidateArtifact(const std::string& text, std::string* error) {
   }
   std::map<std::string, bool> seen;
   double schema_version = -1;
+  bool has_schema_version = false;
   std::string bench_name;
   bool has_time_ns = false;
   while (true) {
@@ -253,6 +280,7 @@ bool ValidateArtifact(const std::string& text, std::string* error) {
         }
         if (meta_key == "schema_version") {
           schema_version = num;
+          has_schema_version = true;
         } else if (meta_key == "bench") {
           bench_name = str;
         } else if (meta_key == "time_ns") {
@@ -296,6 +324,10 @@ bool ValidateArtifact(const std::string& text, std::string* error) {
       *error = std::string("missing top-level section \"") + required + "\"";
       return false;
     }
+  }
+  if (!has_schema_version) {
+    *error = "meta.schema_version is missing";
+    return false;
   }
   if (schema_version != 1) {
     *error = "meta.schema_version is not 1";
