@@ -15,6 +15,7 @@
 
 #include "src/obs/critical_path.h"
 #include "src/obs/perfetto.h"
+#include "src/obs/profiler.h"
 #include "src/services/transend/transend.h"
 #include "src/util/strings.h"
 #include "src/workload/trace.h"
@@ -46,11 +47,15 @@ inline ContentUniverseConfig FixedJpegUniverse(int64_t urls) {
 
 // Writes the run's machine-readable observability artifact (the uniform
 // BENCH_<name>.json schema every bench binary emits):
-//   {"meta":{"schema_version":1,"bench":..,"time_ns":..},
-//    "snapshot":..,      monitor JSON (every registry metric, components, alarms)
-//    "timeseries":..,    columnar ring-buffer samples from the flight recorder
-//    "critical_path":... per-stage latency decomposition over retained traces
-//    "traces":...}       raw span trees
+//   {"meta":{"schema_version":2,"bench":..,"time_ns":..},
+//    "snapshot":..,       monitor JSON (every registry metric, components, alarms)
+//    "timeseries":..,     columnar ring-buffer samples from the flight recorder
+//    "critical_path":..,  per-stage latency decomposition over retained traces
+//    "availability":..,   harvest/yield ledger: windowed yield+harvest, faults,
+//                         recovery gaps (DESIGN.md §15)
+//    "profile":..,        wall-clock zone profiler snapshot (empty object fields
+//                         when the profiler was not enabled for the run)
+//    "traces":...}        raw span trees
 // Returns false if the file could not be opened.
 inline bool DumpRunArtifact(SnsSystem* system, const std::string& path,
                             const std::string& bench_name) {
@@ -66,13 +71,15 @@ inline bool DumpRunArtifact(SnsSystem* system, const std::string& path,
   if (f == nullptr) {
     return false;
   }
-  std::fprintf(f,
-               "{\"meta\":{\"schema_version\":1,\"bench\":\"%s\",\"time_ns\":%lld},"
-               "\"snapshot\":%s,\"timeseries\":%s,\"critical_path\":%s,\"traces\":%s}\n",
-               JsonEscape(bench_name).c_str(),
-               static_cast<long long>(system->sim()->now()), snapshot.c_str(),
-               timeseries.c_str(), paths.ToJson().c_str(),
-               system->tracer()->ToJson().c_str());
+  std::fprintf(
+      f,
+      "{\"meta\":{\"schema_version\":2,\"bench\":\"%s\",\"time_ns\":%lld},"
+      "\"snapshot\":%s,\"timeseries\":%s,\"critical_path\":%s,"
+      "\"availability\":%s,\"profile\":%s,\"traces\":%s}\n",
+      JsonEscape(bench_name).c_str(), static_cast<long long>(system->sim()->now()),
+      snapshot.c_str(), timeseries.c_str(), paths.ToJson().c_str(),
+      system->availability()->ToJson(system->event_log()).c_str(),
+      Profiler::Get().ToJson().c_str(), system->tracer()->ToJson().c_str());
   std::fclose(f);
   return true;
 }

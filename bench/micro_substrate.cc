@@ -27,6 +27,8 @@
 #include "src/content/image.h"
 #include "src/content/jpeg_codec.h"
 #include "src/net/san.h"
+#include "src/obs/availability.h"
+#include "src/obs/profiler.h"
 #include "src/services/hotbot/inverted_index.h"
 #include "src/sim/simulator.h"
 #include "src/store/consistent_hash.h"
@@ -38,7 +40,12 @@
 namespace sns {
 namespace {
 
+// Every benchmark opens a root profiler zone covering its whole invocation
+// (setup + timed loop), so the artifact's profile section can attribute the
+// binary's wall clock: bench.* roots hold the coverage, and the engine zones
+// (sim.*, san.*) nest inside them showing where the substrate itself burns it.
 void BM_SimulatorScheduleRun(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.SimulatorScheduleRun");
   for (auto _ : state) {
     Simulator sim;
     int64_t counter = 0;
@@ -91,11 +98,13 @@ void ChurnScheduleCancel(benchmark::State& state) {
 }
 
 void BM_ChurnScheduleCancel_Wheel(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.ChurnScheduleCancel_Wheel");
   ChurnScheduleCancel<Simulator>(state);
 }
 BENCHMARK(BM_ChurnScheduleCancel_Wheel);
 
 void BM_ChurnScheduleCancel_SeedHeap(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.ChurnScheduleCancel_SeedHeap");
   ChurnScheduleCancel<ReferenceHeapSim>(state);
 }
 BENCHMARK(BM_ChurnScheduleCancel_SeedHeap);
@@ -132,10 +141,12 @@ void FarNearBlend(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBlendEventsPerIter);
 }
 
-void BM_FarNearBlend_Wheel(benchmark::State& state) { FarNearBlend<Simulator>(state); }
+void BM_FarNearBlend_Wheel(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.FarNearBlend_Wheel"); FarNearBlend<Simulator>(state); }
 BENCHMARK(BM_FarNearBlend_Wheel);
 
 void BM_FarNearBlend_SeedHeap(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.FarNearBlend_SeedHeap");
   FarNearBlend<ReferenceHeapSim>(state);
 }
 BENCHMARK(BM_FarNearBlend_SeedHeap);
@@ -147,6 +158,7 @@ BENCHMARK(BM_FarNearBlend_SeedHeap);
 // Exercises the flattened routing tables and the move-through delivery lambdas.
 
 void BM_SanMulticastFanout(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.SanMulticastFanout");
   Simulator sim;
   San san(&sim, SanConfig{});
   constexpr NodeId kNodes = 64;
@@ -171,6 +183,7 @@ void BM_SanMulticastFanout(benchmark::State& state) {
 BENCHMARK(BM_SanMulticastFanout);
 
 void BM_RngZipf(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.RngZipf");
   Rng rng(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(rng.Zipf(100000, 0.9));
@@ -179,6 +192,7 @@ void BM_RngZipf(benchmark::State& state) {
 BENCHMARK(BM_RngZipf);
 
 void BM_LruCachePutGet(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.LruCachePutGet");
   LruCache<std::string, int64_t> cache(1 << 20, [](const int64_t&) { return int64_t{64}; });
   Rng rng(2);
   int64_t i = 0;
@@ -193,6 +207,7 @@ void BM_LruCachePutGet(benchmark::State& state) {
 BENCHMARK(BM_LruCachePutGet);
 
 void BM_ConsistentHashLookup(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.ConsistentHashLookup");
   ConsistentHashRing ring(64);
   for (int64_t m = 0; m < state.range(0); ++m) {
     ring.AddMember(m);
@@ -206,6 +221,7 @@ void BM_ConsistentHashLookup(benchmark::State& state) {
 BENCHMARK(BM_ConsistentHashLookup)->Arg(4)->Arg(64);
 
 void BM_KvStoreCommit(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.KvStoreCommit");
   KvStore store;
   Rng rng(4);
   for (auto _ : state) {
@@ -217,6 +233,7 @@ void BM_KvStoreCommit(benchmark::State& state) {
 BENCHMARK(BM_KvStoreCommit);
 
 void BM_JpegEncode(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.JpegEncode");
   Rng rng(5);
   RasterImage image = SynthesizePhoto(&rng, 160, 120);
   for (auto _ : state) {
@@ -227,6 +244,7 @@ void BM_JpegEncode(benchmark::State& state) {
 BENCHMARK(BM_JpegEncode);
 
 void BM_JpegRoundTrip(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.JpegRoundTrip");
   Rng rng(6);
   RasterImage image = SynthesizePhoto(&rng, 160, 120);
   std::vector<uint8_t> encoded = JpegEncode(image, 50);
@@ -238,6 +256,7 @@ void BM_JpegRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_JpegRoundTrip);
 
 void BM_GifEncode(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.GifEncode");
   Rng rng(7);
   RasterImage image = SynthesizePhoto(&rng, 160, 120);
   for (auto _ : state) {
@@ -247,6 +266,7 @@ void BM_GifEncode(benchmark::State& state) {
 BENCHMARK(BM_GifEncode);
 
 void BM_HtmlMunge(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.HtmlMunge");
   Rng rng(8);
   HtmlGenOptions options;
   options.paragraphs = 12;
@@ -262,6 +282,7 @@ void BM_HtmlMunge(benchmark::State& state) {
 BENCHMARK(BM_HtmlMunge);
 
 void BM_InvertedIndexSearch(benchmark::State& state) {
+  SNS_PROFILE_ZONE("bench.InvertedIndexSearch");
   CorpusConfig config;
   config.doc_count = 5000;
   std::vector<ShardPtr> shards = BuildShardedCorpus(config, 1);
@@ -313,19 +334,27 @@ bool WriteArtifact(const std::map<std::string, double>& rates) {
   if (f == nullptr) {
     return false;
   }
+  // No cluster runs here, so the availability section is an empty ledger
+  // (offered=0); the profile section is this binary's main payload.
   std::fprintf(
       f,
-      "{\"meta\":{\"schema_version\":1,\"bench\":\"micro_substrate\",\"time_ns\":0},"
+      "{\"meta\":{\"schema_version\":2,\"bench\":\"micro_substrate\",\"time_ns\":0},"
       "\"snapshot\":{\"events_per_sec\":{%s},"
       "\"speedup_churn_wheel_vs_heap\":%.3f,"
       "\"speedup_blend_wheel_vs_heap\":%.3f},"
-      "\"timeseries\":{},\"critical_path\":{},\"traces\":{}}\n",
+      "\"timeseries\":{},\"critical_path\":{},"
+      "\"availability\":%s,\"profile\":%s,\"traces\":{}}\n",
       events.c_str(), churn_heap > 0 ? churn_wheel / churn_heap : 0.0,
-      blend_heap > 0 ? blend_wheel / blend_heap : 0.0);
+      blend_heap > 0 ? blend_wheel / blend_heap : 0.0,
+      AvailabilityLedger().ToJson(nullptr).c_str(),
+      Profiler::Get().ToJson().c_str());
   std::fclose(f);
   std::printf("\nartifacts: BENCH_micro_substrate.json "
-              "(churn speedup wheel/heap: %.2fx)\n",
-              churn_heap > 0 ? churn_wheel / churn_heap : 0.0);
+              "(churn speedup wheel/heap: %.2fx; profile coverage %.1f%%, "
+              "self-overhead %.2f%%)\n",
+              churn_heap > 0 ? churn_wheel / churn_heap : 0.0,
+              100.0 * Profiler::Get().Coverage(),
+              100.0 * Profiler::Get().SelfOverhead());
   return true;
 }
 
@@ -348,8 +377,15 @@ int main(int argc, char** argv) {
   args.push_back(min_time.data());
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());
+  // This binary doubles as the profiled workload for the wall-clock zone
+  // profiler: collection is always on, and the Begin/End bracket is the window
+  // the artifact's coverage and self-overhead fractions are computed against
+  // (profile-smoke gates on both).
+  sns::Profiler::Get().Enable();
+  sns::Profiler::Get().BeginMeasurement();
   sns::CapturingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  sns::Profiler::Get().EndMeasurement();
   benchmark::Shutdown();
   return sns::WriteArtifact(reporter.rates()) ? 0 : 1;
 }

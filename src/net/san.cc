@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/profiler.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -120,6 +121,7 @@ bool San::IsBound(const Endpoint& ep) const {
 }
 
 void San::Send(Message msg, SendOptions opts) {
+  SNS_PROFILE_ZONE_STRIDE("san.route", 4);
   msg.sent_at = sim_->now();
   uint64_t seq = (event_log_ != nullptr && msg.trace.valid()) ? event_log_->NextSeq() : 0;
   LogEvent(SanEvent::Kind::kSend, msg, seq, "");
@@ -194,6 +196,7 @@ void San::DeliverToNode(Message msg, SimTime arrival, bool setup, SendOptions op
 }
 
 void San::FinalDeliver(const Message& msg, const SendOptions& opts, uint64_t seq) {
+  SNS_PROFILE_ZONE_STRIDE("san.deliver", 4);
   const NodeState* dst_node = GetNode(msg.dst.node);
   if (dst_node == nullptr || !dst_node->up || !Reachable(msg.src.node, msg.dst.node)) {
     CountLost();
@@ -258,6 +261,7 @@ size_t San::GroupSize(McastGroup group) const {
 }
 
 void San::SendMulticast(McastGroup group, Message msg) {
+  SNS_PROFILE_ZONE_STRIDE("san.route", 4);
   GroupState* gs = (group >= 0 && static_cast<size_t>(group) < groups_.size())
                        ? &groups_[static_cast<size_t>(group)]
                        : nullptr;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/util/strings.h"
 
 namespace sns {
@@ -121,6 +122,11 @@ std::string ExportChromeTrace(const TraceCollector& collector, const EventLog* e
           JsonEscape(fault.what).c_str(), ToMicros(fault.at));
     }
   }
+
+  // Host-CPU zone profiler counter tracks (empty unless the profiler ran):
+  // they land in their own pid so they render as a separate "host cpu" group
+  // below the simulated-time lanes.
+  body += ProfilerCounterTrackJson();
 
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   out += metadata;

@@ -74,11 +74,15 @@ MembershipView MembershipService::Regroup(NodeId vantage, SimTime now, bool rene
   LastView& last = last_[vantage];
   if (!last.valid || last.members != view.members || last.quorate != view.quorate) {
     ++regroup_seq_;
-    transitions_.push_back(StrFormat(
+    std::string line = StrFormat(
         "t=%s regroup#%llu node=%d members=%zu votes=%d/%d quorate=%d",
         FormatTime(now).c_str(), static_cast<unsigned long long>(regroup_seq_),
         vantage, view.members.size(), view.votes_held, view.votes_total,
-        view.quorate ? 1 : 0));
+        view.quorate ? 1 : 0);
+    if (event_sink_) {
+      event_sink_(now, line);
+    }
+    transitions_.push_back(std::move(line));
     last.members = view.members;
     last.quorate = view.quorate;
     last.valid = true;
@@ -95,7 +99,10 @@ MembershipView MembershipService::Regroup(NodeId vantage, SimTime now, bool rene
   return view;
 }
 
-void MembershipService::NoteTransition(std::string line) {
+void MembershipService::NoteTransition(SimTime at, std::string line) {
+  if (event_sink_) {
+    event_sink_(at, line);
+  }
   transitions_.push_back(std::move(line));
 }
 

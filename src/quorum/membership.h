@@ -21,6 +21,7 @@
 #define SRC_QUORUM_MEMBERSHIP_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -66,7 +67,15 @@ class MembershipService {
 
   // Appends an externally produced line to the transition log (managers log
   // their degrade/resume flips here so one trace tells the whole story).
-  void NoteTransition(std::string line);
+  void NoteTransition(SimTime at, std::string line);
+
+  // Mirrors every transition line (regroup view changes and NoteTransition
+  // entries) to an external timeline. SnsSystem folds these into the
+  // flight-recorder fault log, so quorum flips annotate the availability
+  // timeline and Perfetto traces alongside injected faults.
+  void set_event_sink(std::function<void(SimTime, const std::string&)> sink) {
+    event_sink_ = std::move(sink);
+  }
 
   uint64_t regroup_seq() const { return regroup_seq_; }
   const std::vector<std::string>& transitions() const { return transitions_; }
@@ -84,6 +93,7 @@ class MembershipService {
   };
   std::map<NodeId, LastView> last_;  // Per-vantage, for transition detection.
   std::vector<std::string> transitions_;
+  std::function<void(SimTime, const std::string&)> event_sink_;
 
   Gauge* votes_held_gauge_ = nullptr;
   Gauge* votes_total_gauge_ = nullptr;

@@ -72,6 +72,15 @@ std::vector<ScenarioCell> SmokeMatrix() {
     cell.gen.kind_weights = {1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 1.5, 1.0, 1.0, 1.0};
     cells.push_back(cell);
   }
+  {
+    // The same crowd and the same fault schedule with replication stripped to
+    // R=1: the pair is the paper-style availability figure (yield timeline
+    // under faults, R=1 vs R=2) in EXPERIMENTS.md.
+    ScenarioCell cell = Cell(WorkloadShape::kFlashCrowd, Shape(3, 2, 2, 1),
+                             OverloadRegime::kNominal, 0x47);
+    cell.gen.kind_weights = {1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 1.5, 1.0, 1.0, 1.0};
+    cells.push_back(cell);
+  }
 
   // --- Compressed diurnal replay under the core-weighted vote layout. -------------
   cells.push_back(Cell(WorkloadShape::kDiurnal,

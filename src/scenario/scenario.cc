@@ -10,6 +10,7 @@
 #include "src/cluster/failure_injector.h"
 #include "src/obs/critical_path.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/services/transend/transend.h"
 #include "src/util/strings.h"
 #include "src/workload/trace.h"
@@ -150,10 +151,11 @@ TranSendOptions CellOptions(const ScenarioCell& cell) {
 std::string MetricsJson(const CellMetrics& m, double distort_goodput) {
   return StrFormat(
       "{\"latency_p50_s\":%.9g,\"latency_p99_s\":%.9g,\"goodput\":%.9g,"
-      "\"hit_rate\":%.9g,\"recovery_s\":%.9g,\"sent\":%lld,\"completed\":%lld,"
+      "\"hit_rate\":%.9g,\"recovery_s\":%.9g,\"yield\":%.9g,\"harvest\":%.9g,"
+      "\"sent\":%lld,\"completed\":%lld,"
       "\"errors\":%lld,\"timeouts\":%lld,\"late_completions\":%lld}",
       m.latency_p50_s, m.latency_p99_s, m.goodput * distort_goodput, m.hit_rate,
-      m.recovery_s, static_cast<long long>(m.sent),
+      m.recovery_s, m.yield, m.harvest, static_cast<long long>(m.sent),
       static_cast<long long>(m.completed), static_cast<long long>(m.errors),
       static_cast<long long>(m.timeouts),
       static_cast<long long>(m.late_completions));
@@ -162,7 +164,7 @@ std::string MetricsJson(const CellMetrics& m, double distort_goodput) {
 }  // namespace
 
 std::string BaselineJson(const CellResult& result) {
-  return StrFormat("{\"schema_version\":1,\"cell\":\"%s\",\"metrics\":%s}\n",
+  return StrFormat("{\"schema_version\":2,\"cell\":\"%s\",\"metrics\":%s}\n",
                    JsonEscape(result.cell.Name()).c_str(),
                    MetricsJson(result.metrics, 1.0).c_str());
 }
@@ -191,7 +193,8 @@ std::string MatrixSectionJson(const CellResult& result, double distort_goodput) 
 
 namespace {
 
-// Writes the uniform five-section BENCH artifact plus the cell's "matrix"
+// Writes the uniform BENCH artifact (schema v2: snapshot, timeseries,
+// critical_path, availability, profile, traces) plus the cell's "matrix"
 // section (the validator allows extra top-level keys, so matrix artifacts pass
 // the same schema check as every other bench artifact).
 bool WriteCellArtifact(SnsSystem* system, const CellResult& result,
@@ -208,12 +211,15 @@ bool WriteCellArtifact(SnsSystem* system, const CellResult& result,
   }
   std::fprintf(
       f,
-      "{\"meta\":{\"schema_version\":1,\"bench\":\"%s\",\"time_ns\":%lld},"
-      "\"snapshot\":%s,\"timeseries\":%s,\"critical_path\":%s,\"traces\":%s,"
+      "{\"meta\":{\"schema_version\":2,\"bench\":\"%s\",\"time_ns\":%lld},"
+      "\"snapshot\":%s,\"timeseries\":%s,\"critical_path\":%s,"
+      "\"availability\":%s,\"profile\":%s,\"traces\":%s,"
       "\"matrix\":%s}\n",
       JsonEscape("matrix_" + result.cell.Name()).c_str(),
       static_cast<long long>(system->sim()->now()), snapshot.c_str(),
-      timeseries.c_str(), paths.ToJson().c_str(), system->tracer()->ToJson().c_str(),
+      timeseries.c_str(), paths.ToJson().c_str(),
+      system->availability()->ToJson(system->event_log()).c_str(),
+      Profiler::Get().ToJson().c_str(), system->tracer()->ToJson().c_str(),
       MatrixSectionJson(result, options.distort_goodput).c_str());
   std::fclose(f);
   return true;
@@ -404,6 +410,12 @@ CellResult RunScenarioCell(const ScenarioCell& cell, const CellRunOptions& optio
   m.recovery_s = static_cast<double>(LongestZeroCompletionGap(
       client->completions_per_second(), load_start / kSecond + 1,
       (load_start + load_window) / kSecond));
+  // Both playback engines (warmup and load) share the system ledger, so the
+  // run-level yield/harvest cover every request the cell ever offered —
+  // consistent with the never-reset accounting above.
+  m.yield = system->availability()->RunYield();
+  m.harvest = system->availability()->RunHarvest();
+  result.availability_table = system->availability()->RenderTable(system->event_log());
 
   if (!options.artifact_dir.empty()) {
     std::string path = options.artifact_dir + "/BENCH_matrix_" + cell.Name() +

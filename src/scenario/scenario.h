@@ -97,6 +97,11 @@ struct CellMetrics {
   // Longest run of consecutive whole seconds with zero request completions
   // inside the load window — the client-visible outage from the worst fault.
   double recovery_s = 0;
+  // Harvest/yield (paper §1.2, DESIGN.md §15) over the whole run, from the
+  // system availability ledger: yield = answered/offered, harvest = mean
+  // completeness of the answers (degraded/approximate answers < 1.0).
+  double yield = 1.0;
+  double harvest = 1.0;
   int64_t sent = 0;
   int64_t completed = 0;
   int64_t errors = 0;
@@ -111,6 +116,9 @@ struct CellResult {
   int64_t faults_injected = 0;
   bool artifact_written = false;
   std::string artifact_path;
+  // Paper-style availability figure: per-second offered/answered/yield/harvest
+  // rows with fault and outage annotations (AvailabilityLedger::RenderTable).
+  std::string availability_table;
 
   bool passed() const { return invariants.ok(); }
 };
@@ -139,7 +147,7 @@ CellResult RunScenarioCell(const ScenarioCell& cell, const CellRunOptions& optio
 int64_t LongestZeroCompletionGap(const std::map<int64_t, int64_t>& completions_per_second,
                                  int64_t from_s, int64_t to_s);
 
-// Baseline-file JSON for one cell: {"schema_version":1,"cell":...,"metrics":...}.
+// Baseline-file JSON for one cell: {"schema_version":2,"cell":...,"metrics":...}.
 // tools/bless_baseline writes these; tools/bench_diff reads them back.
 std::string BaselineJson(const CellResult& result);
 

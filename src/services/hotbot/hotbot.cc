@@ -54,6 +54,7 @@ PlaybackEngine* HotBotService::AddPlaybackEngine(uint64_t seed) {
   PlaybackConfig config;
   config.seed = seed;
   config.front_ends = [this] { return LiveFrontEnds(); };
+  config.availability = system_.availability();
   auto engine = std::make_unique<PlaybackEngine>(config);
   PlaybackEngine* raw = engine.get();
   ProcessId pid = system_.cluster()->Spawn(node, std::move(engine));

@@ -77,6 +77,9 @@ PlaybackEngine* TranSendService::AddPlaybackEngine(PlaybackConfig config) {
   client.link = options_.client_link;
   NodeId node = system_.cluster()->AddNode(client);
   config.front_ends = [this] { return LiveFrontEnds(); };
+  if (config.availability == nullptr) {
+    config.availability = system_.availability();
+  }
   auto engine = std::make_unique<PlaybackEngine>(config);
   PlaybackEngine* raw = engine.get();
   ProcessId pid = system_.cluster()->Spawn(node, std::move(engine));

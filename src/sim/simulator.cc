@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/profiler.h"
 #include "src/util/logging.h"
 
 namespace sns {
@@ -77,6 +78,8 @@ EventId Simulator::Schedule(SimDuration delay, SimCallback fn) {
 }
 
 EventId Simulator::ScheduleAt(SimTime t, SimCallback fn) {
+  // Strided: schedule runs ~100 ns, so per-call clock reads would dominate.
+  SNS_PROFILE_ZONE_STRIDE("sim.schedule", 7);
   if (t < now_) t = now_;
   uint32_t ri = AllocRec();
   Rec& r = RecAt(ri);
@@ -152,6 +155,7 @@ void Simulator::UnlinkFromSlot(uint32_t ri) {
 // --- Cancellation ------------------------------------------------------------
 
 bool Simulator::Cancel(EventId id) {
+  SNS_PROFILE_ZONE_STRIDE("sim.cancel", 7);
   uint32_t ri, gen;
   if (!SplitId(id, &ri, &gen)) return false;
   if (ri >= rec_count_) return false;
@@ -357,15 +361,24 @@ SimTime Simulator::PeekNextTime() {
 // --- Execution ---------------------------------------------------------------
 
 bool Simulator::Step() {
-  if (PeekNextTime() == kTimeNever) return false;
-  uint32_t ri = due_[due_pos_++];
-  Rec& r = RecAt(ri);
-  now_ = r.time;
-  SimCallback cb = std::move(r.cb);
-  FreeRec(ri);  // Before invoking: Cancel(this event's id) inside cb is a no-op.
-  --pending_;
-  ++executed_;
-  cb();
+  SimCallback cb;
+  {
+    // Wheel bookkeeping: cursor advance, cascades, due extraction.
+    SNS_PROFILE_ZONE_STRIDE("sim.fire", 6);
+    if (PeekNextTime() == kTimeNever) return false;
+    uint32_t ri = due_[due_pos_++];
+    Rec& r = RecAt(ri);
+    now_ = r.time;
+    cb = std::move(r.cb);
+    FreeRec(ri);  // Before invoking: Cancel(this event's id) inside cb is a no-op.
+    --pending_;
+    ++executed_;
+  }
+  {
+    // Callback execution: everything the event actually does.
+    SNS_PROFILE_ZONE_STRIDE("sim.dispatch", 6);
+    cb();
+  }
   return true;
 }
 

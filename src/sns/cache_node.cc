@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/profiler.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -153,6 +154,7 @@ void CacheNodeProcess::StartRebalance() {
 }
 
 void CacheNodeProcess::RebalanceStep() {
+  SNS_PROFILE_ZONE("cache.rebalance");
   rebalance_timer_ = kInvalidEventId;
   size_t r = ReplicaFactor();
   int64_t self = CacheRingMemberId(endpoint());

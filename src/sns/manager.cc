@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/obs/profiler.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -151,6 +152,7 @@ ManagerProcess::WorkerState* ManagerProcess::UpsertWorker(const Endpoint& ep,
 }
 
 void ManagerProcess::HandleLoadReport(const LoadReportPayload& p) {
+  SNS_PROFILE_ZONE_STRIDE("manager.beacon_fanin", 2);
   if (FenceAgainst(p.manager_epoch, "load report")) {
     return;
   }
@@ -242,15 +244,19 @@ void ManagerProcess::Beacon() {
       SNS_LOG(kWarning, "manager")
           << "epoch " << epoch_ << " lost quorum (" << votes_held << "/" << votes_total
           << " votes); degrading to read-only";
-      membership_->NoteTransition(StrFormat(
-          "t=%s manager epoch=%llu degraded (votes %d/%d)", FormatTime(now).c_str(),
-          static_cast<unsigned long long>(epoch_), votes_held, votes_total));
+      membership_->NoteTransition(
+          now, StrFormat("t=%s manager epoch=%llu degraded (votes %d/%d)",
+                         FormatTime(now).c_str(),
+                         static_cast<unsigned long long>(epoch_), votes_held,
+                         votes_total));
     } else if (quorate && read_only_degraded_) {
       read_only_degraded_ = false;
       SNS_LOG(kInfo, "manager") << "epoch " << epoch_ << " regained quorum; resuming";
-      membership_->NoteTransition(StrFormat(
-          "t=%s manager epoch=%llu resumed (votes %d/%d)", FormatTime(now).c_str(),
-          static_cast<unsigned long long>(epoch_), votes_held, votes_total));
+      membership_->NoteTransition(
+          now, StrFormat("t=%s manager epoch=%llu resumed (votes %d/%d)",
+                         FormatTime(now).c_str(),
+                         static_cast<unsigned long long>(epoch_), votes_held,
+                         votes_total));
     }
   }
   if (!read_only_degraded_) {
@@ -316,6 +322,7 @@ void ManagerProcess::ExpireSoftState() {
 }
 
 void ManagerProcess::RunPolicy() {
+  SNS_PROFILE_ZONE("manager.policy_scan");
   SimTime now = sim()->now();
   // Aggregate live workers by type.
   struct TypeLoad {

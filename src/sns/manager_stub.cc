@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/profiler.h"
+
 namespace sns {
 
 bool ManagerStub::OnBeacon(const ManagerBeaconPayload& beacon, SimTime now) {
@@ -85,6 +87,7 @@ std::optional<Endpoint> ManagerStub::CacheNodeForKey(const std::string& key) con
 }
 
 std::vector<Endpoint> ManagerStub::CacheChainForKey(const std::string& key) const {
+  SNS_PROFILE_ZONE_STRIDE("cache.ring_lookup", 3);
   size_t r = config_.cache_replication > 0
                  ? static_cast<size_t>(config_.cache_replication)
                  : size_t{1};

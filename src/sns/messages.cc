@@ -40,6 +40,27 @@ const char* ResponseSourceName(ResponseSource source) {
   return "unknown";
 }
 
+double ResponseHarvest(ResponseSource source) {
+  switch (source) {
+    case ResponseSource::kDistilled:
+    case ResponseSource::kPassThrough:
+      // Full answer: every stage the request needed actually ran (pass-through
+      // types have no distillation stage to shed, so they are complete too).
+      return 1.0;
+    case ResponseSource::kCacheOriginal:
+      // The worker_service stage was shed (overload or distiller failure); the
+      // user gets the original bytes but not the requested representation.
+      return 0.65;
+    case ResponseSource::kCacheApproximate:
+      // BASE approximate answer (§3.1.8): a stale/neighboring distilled
+      // variant. Shed the worker stage AND the fidelity of the variant match.
+      return 0.5;
+    case ResponseSource::kError:
+      return 0.0;
+  }
+  return 0.0;
+}
+
 namespace {
 
 int64_t ContentBytes(const ContentPtr& c) { return c == nullptr ? 0 : c->size(); }

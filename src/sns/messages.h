@@ -86,6 +86,14 @@ enum class ResponseSource {
 
 const char* ResponseSourceName(ResponseSource source);
 
+// Harvest fraction of an answer by provenance (the availability ledger's
+// completeness axis, src/obs/availability.h). Weighted against the
+// critical-path stage vocabulary: an answer that shed the worker_service stage
+// (distillation — the representation the user asked for) keeps the content but
+// loses the most valuable stage; an approximate variant additionally loses
+// fidelity to the requested quality. Full answers are exactly 1.0.
+double ResponseHarvest(ResponseSource source);
+
 struct ClientResponsePayload : Payload {
   uint64_t client_request_id = 0;
   Status status;

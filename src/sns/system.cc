@@ -17,6 +17,14 @@ SnsSystem::SnsSystem(const SnsConfig& config, const SystemTopology& topology)
   quorum_disk_ = std::make_unique<QuorumDisk>(&quorum_disk_store_, config_.quorum_disk_lease);
   membership_ = std::make_unique<MembershipService>(&san_, quorum_disk_.get());
   fence_agent_ = std::make_unique<FenceAgent>(&cluster_);
+  // Quorum regroups and fence kills land on the same fault timeline as injected
+  // failures, so the availability ledger (and Perfetto traces) can annotate
+  // yield dips with the transition that caused or resolved them.
+  membership_->set_event_sink(
+      [this](SimTime at, const std::string& what) { event_log_.RecordFault({at, what}); });
+  fence_agent_->set_event_sink(
+      [this](SimTime at, const std::string& what) { event_log_.RecordFault({at, what}); });
+  availability_.BindMetrics(cluster_.metrics());
 }
 
 SnsSystem::~SnsSystem() = default;

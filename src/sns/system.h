@@ -21,6 +21,7 @@
 
 #include "src/cluster/cluster.h"
 #include "src/net/san.h"
+#include "src/obs/availability.h"
 #include "src/obs/events.h"
 #include "src/quorum/fencing.h"
 #include "src/quorum/membership.h"
@@ -129,6 +130,10 @@ class SnsSystem : public ComponentLauncher {
   // sampler (created in Start; null before).
   EventLog* event_log() { return &event_log_; }
   TimeSeriesRecorder* recorder() { return recorder_.get(); }
+  // Harvest/yield ledger (DESIGN.md §15): clients (playback engines) record every
+  // offered request and its resolution here; quorum/fencing transitions and
+  // injected faults land on the same timeline via event_log_.
+  AvailabilityLedger* availability() { return &availability_; }
   // Forwards every fault `injector` applies onto the flight-recorder timeline.
   void AttachFailureInjector(FailureInjector* injector);
   const SnsConfig& config() const { return config_; }
@@ -195,6 +200,7 @@ class SnsSystem : public ComponentLauncher {
   std::unique_ptr<FenceAgent> fence_agent_;
   StoreReservation profile_reservation_;
   EventLog event_log_;
+  AvailabilityLedger availability_;
   std::unique_ptr<TimeSeriesRecorder> recorder_;
   std::unique_ptr<PeriodicTimer> recorder_timer_;
 

@@ -81,9 +81,15 @@ Endpoint PlaybackEngine::PickFrontEnd() {
 uint64_t PlaybackEngine::SendRequest(const TraceRecord& record,
                                      std::map<std::string, std::string> params) {
   ++sent_;
+  if (config_.availability != nullptr) {
+    config_.availability->RecordOffered(sim()->now());
+  }
   Endpoint fe = PickFrontEnd();
   if (!fe.valid()) {
     ++send_failures_;  // No live front end at all right now.
+    if (config_.availability != nullptr) {
+      config_.availability->RecordUnanswered(sim()->now(), "send_failed");
+    }
     return 0;
   }
   uint64_t id = next_request_id_++;
@@ -110,6 +116,9 @@ uint64_t PlaybackEngine::SendRequest(const TraceRecord& record,
       RecordSpan(it->second.trace, "client.request", it->second.sent_at, "timeout");
       pending_.erase(it);
       ++timeouts_;
+      if (config_.availability != nullptr) {
+        config_.availability->RecordUnanswered(sim()->now(), "timeout");
+      }
     }
   });
   pending_[id] = pending;
@@ -131,6 +140,9 @@ uint64_t PlaybackEngine::SendRequest(const TraceRecord& record,
       CancelTimer(it->second.timeout);
       pending_.erase(it);
       ++send_failures_;
+      if (config_.availability != nullptr) {
+        config_.availability->RecordUnanswered(sim()->now(), "send_failed");
+      }
     }
   };
   uint64_t trace_id = pending.trace.trace_id;
@@ -159,8 +171,20 @@ void PlaybackEngine::OnMessage(const Message& msg) {
   }
 
   ++completed_;
-  if (reply.status.ok() && deadline != kTimeNever && sim()->now() > deadline) {
+  bool late = deadline != kTimeNever && sim()->now() > deadline;
+  if (reply.status.ok() && late) {
     ++late_completions_;
+  }
+  if (config_.availability != nullptr) {
+    // Ledger semantics: an answer counts toward yield only if it was an OK
+    // response delivered inside the client's deadline. A late OK answered
+    // nobody — by then the user has navigated away (§4.5's whole premise).
+    if (reply.status.ok() && !late) {
+      config_.availability->RecordAnswered(sim()->now(), ResponseHarvest(reply.source));
+    } else {
+      config_.availability->RecordUnanswered(sim()->now(),
+                                             reply.status.ok() ? "late" : "error");
+    }
   }
   latency_s_.Add(latency);
   latency_hist_.Add(latency);

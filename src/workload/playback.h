@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/cluster/process.h"
+#include "src/obs/availability.h"
 #include "src/sim/timer.h"
 #include "src/sns/messages.h"
 #include "src/util/rng.h"
@@ -40,6 +41,11 @@ struct PlaybackConfig {
   // write ledger uses this to mark which profile writes the client saw
   // acknowledged.
   std::function<void(const std::string& user_id, bool ok)> on_response;
+  // When set, every request is entered into the harvest/yield ledger: offered at
+  // send time, answered (with a harvest fraction derived from the response's
+  // provenance) or unanswered (timeout / error / late / no reachable FE) at
+  // resolution. Not owned. TranSendService wires its system ledger in by default.
+  AvailabilityLedger* availability = nullptr;
 };
 
 class PlaybackEngine : public Process {

@@ -360,6 +360,22 @@ TEST(SnapshotAuditTest, MonitorExportCoversFlightRecorderCounters) {
       "san.reliable_failed_fast",
       "san.messages_lost_unreachable",
       "san.multicast_suppressed",
+      // Control-plane instruments from the quorum/fencing work: the manager's
+      // current mastership epoch and the membership service's vote ledger are
+      // gauges bound at startup, the fence counter registers even when no kill
+      // ever fires (a zero is still evidence the instrument exists).
+      "manager.epoch",
+      "quorum.votes_held",
+      "quorum.votes_total",
+      "quorum.is_quorate",
+      "fencing.kills",
+      // Harvest/yield ledger gauges: bound in the SnsSystem constructor and
+      // refreshed on every record, so a run with offered load must export
+      // non-trivial running totals alongside the ratios.
+      "availability.offered",
+      "availability.answered",
+      "availability.yield",
+      "availability.harvest",
   };
   for (const char* key : required) {
     EXPECT_NE(snapshot.find(key), std::string::npos)

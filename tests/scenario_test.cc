@@ -32,6 +32,7 @@ const char* const kSmokeCellNames[] = {
     "replay_w2fe1c2r1u_f0_sat",
     "flash_w3fe2c2r2u_f0_nom",
     "flash_w3fe2c2r2u_f47_nom",
+    "flash_w3fe2c2r1u_f47_nom",
     "diurnal_w2fe1c2r2cw_f0_nom",
     "diurnal_w3fe2c2r2cw_f5a_nom",
     "stream_w2fe1c2r2u_f0_nom",
@@ -210,8 +211,12 @@ TEST(ScenarioCellTest, NominalZipfCellRunsCleanAndWritesArtifact) {
   std::fclose(f);
 
   std::string baseline = BaselineJson(result);
-  EXPECT_NE(baseline.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(baseline.find("\"schema_version\":2"), std::string::npos);
   EXPECT_NE(baseline.find("\"cell\":\"zipf_w2fe1c2r2u_f0_nom\""), std::string::npos);
+  // v2 baselines carry the availability ledger's run metrics so bench_diff
+  // can gate them alongside goodput.
+  EXPECT_NE(baseline.find("\"yield\":"), std::string::npos);
+  EXPECT_NE(baseline.find("\"harvest\":"), std::string::npos);
 
   // The distortion multiplier exists solely for the matrix-smoke WILL_FAIL
   // regression guard; it must rescale the artifact's goodput and nothing else.

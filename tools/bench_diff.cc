@@ -15,6 +15,10 @@
 //                   regression trips in every cell, saturated ones included)
 //   hit_rate        current >= base - 0.10
 //   recovery_s      current <= base * 1.5 + 2.0 s
+//   yield           current >= base * 0.90   (same relative floor as goodput:
+//                   answered/offered over integer counts, exactly reproducible)
+//   harvest         current >= base * 0.90   (mean answer completeness; a shift
+//                   toward approximate/degraded answers trips the gate)
 //
 // (upper-bounded metrics may improve freely; lower-bounded ones likewise).
 // Other metrics in the baseline (sent, completed, ...) are informational.
@@ -365,7 +369,7 @@ bool GateMetric(const std::string& metric, double base, double current, bool* ok
     *direction = "<=";
     return true;
   }
-  if (metric == "goodput") {
+  if (metric == "goodput" || metric == "yield" || metric == "harvest") {
     *limit = base * 0.90;
     *ok = current >= *limit;
     *direction = ">=";
@@ -419,8 +423,10 @@ int DiffOne(const std::string& baseline_arg, bool baseline_is_dir,
                  error.c_str());
     return 1;
   }
-  if (baseline.schema_version != 1) {
-    std::fprintf(stderr, "%s: baseline schema_version is not 1\n",
+  if (baseline.schema_version != 2) {
+    std::fprintf(stderr,
+                 "%s: baseline schema_version is not 2 (re-bless with "
+                 "tools/bless_baseline)\n",
                  baseline_path.c_str());
     return 1;
   }

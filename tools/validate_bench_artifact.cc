@@ -1,13 +1,22 @@
 // Validates a BENCH_<name>.json run artifact against the uniform schema every
 // bench binary emits (see bench/bench_common.h::DumpRunArtifact):
 //
-//   {"meta":{"schema_version":1,"bench":<non-empty string>,"time_ns":<int>},
-//    "snapshot":{...},"timeseries":{...},"critical_path":{...},"traces":{...}}
+//   {"meta":{"schema_version":2,"bench":<non-empty string>,"time_ns":<int>},
+//    "snapshot":{...},"timeseries":{...},"critical_path":{...},
+//    "availability":{...},"profile":{...},"traces":{...}}
 //
 // Used by the perf-smoke ctest label: each short-mode bench run is a fixture
 // setup, and this validator is the check that the artifact exists, parses, and
 // carries every top-level section. Exit 0 on success; non-zero with a message
 // on any missing/malformed artifact.
+//
+// The profile-smoke label additionally gates the profiler's quality figures:
+//   --min-profile-coverage X   require profile.coverage >= X (named root zones
+//                              must attribute at least this wall fraction)
+//   --max-profile-overhead Y   require profile.self_overhead <= Y (measured
+//                              profiler cost bound as a wall fraction)
+// Both gates also require profile.enabled == true (an artifact from a run that
+// never enabled the profiler carries no evidence either way).
 //
 // The parser below is a minimal recursive-descent JSON reader — just enough to
 // verify well-formedness and pull out the handful of fields the schema pins
@@ -239,9 +248,18 @@ bool Parser::ParseValue(double* number_out, std::string* string_out) {
   }
 }
 
+// Profiler quality figures pulled out of the artifact's "profile" section.
+struct ProfileFacts {
+  bool present = false;
+  bool enabled = false;
+  double coverage = 0;
+  double self_overhead = 1.0;
+};
+
 // Parses the artifact's top level, recording which keys are present and
 // validating the pinned `meta` fields along the way.
-bool ValidateArtifact(const std::string& text, std::string* error) {
+bool ValidateArtifact(const std::string& text, std::string* error,
+                      ProfileFacts* profile) {
   Parser parser(text);
   parser.SkipWs();
   if (!parser.Consume('{')) {
@@ -297,6 +315,45 @@ bool ValidateArtifact(const std::string& text, std::string* error) {
         }
         break;
       }
+    } else if (key == "profile") {
+      // Walk profile's top-level fields so enabled/coverage/self_overhead are
+      // captured for the profile-smoke gates (zones etc. are just validated).
+      profile->present = true;
+      if (!parser.Consume('{')) {
+        *error = "profile is not an object";
+        return false;
+      }
+      while (true) {
+        std::string profile_key;
+        if (!parser.ParseString(&profile_key) || !parser.Consume(':')) {
+          *error = "malformed profile key: " + parser.error;
+          return false;
+        }
+        parser.SkipWs();
+        bool bool_true = parser.p < parser.end && *parser.p == 't';
+        double num = -1;
+        if (!parser.ParseValue(&num, nullptr)) {
+          *error = "malformed profile value: " + parser.error;
+          return false;
+        }
+        if (profile_key == "enabled") {
+          profile->enabled = bool_true;
+        } else if (profile_key == "coverage") {
+          profile->coverage = num;
+        } else if (profile_key == "self_overhead") {
+          profile->self_overhead = num;
+        }
+        parser.SkipWs();
+        if (parser.p < parser.end && *parser.p == ',') {
+          ++parser.p;
+          continue;
+        }
+        if (!parser.Consume('}')) {
+          *error = "unterminated profile object";
+          return false;
+        }
+        break;
+      }
     } else if (!parser.ParseValue(nullptr, nullptr)) {
       *error = "malformed value for \"" + key + "\": " + parser.error;
       return false;
@@ -318,8 +375,8 @@ bool ValidateArtifact(const std::string& text, std::string* error) {
     return false;
   }
 
-  for (const char* required :
-       {"meta", "snapshot", "timeseries", "critical_path", "traces"}) {
+  for (const char* required : {"meta", "snapshot", "timeseries", "critical_path",
+                               "availability", "profile", "traces"}) {
     if (seen.find(required) == seen.end()) {
       *error = std::string("missing top-level section \"") + required + "\"";
       return false;
@@ -329,8 +386,8 @@ bool ValidateArtifact(const std::string& text, std::string* error) {
     *error = "meta.schema_version is missing";
     return false;
   }
-  if (schema_version != 1) {
-    *error = "meta.schema_version is not 1";
+  if (schema_version != 2) {
+    *error = "meta.schema_version is not 2";
     return false;
   }
   if (bench_name.empty()) {
@@ -347,15 +404,31 @@ bool ValidateArtifact(const std::string& text, std::string* error) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s BENCH_<name>.json [...]\n", argv[0]);
+  double min_coverage = -1;
+  double max_overhead = -1;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--min-profile-coverage" && i + 1 < argc) {
+      min_coverage = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--max-profile-overhead" && i + 1 < argc) {
+      max_overhead = std::strtod(argv[++i], nullptr);
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--min-profile-coverage X] [--max-profile-overhead Y] "
+                 "BENCH_<name>.json [...]\n",
+                 argv[0]);
     return 2;
   }
   int bad = 0;
-  for (int i = 1; i < argc; ++i) {
-    std::FILE* f = std::fopen(argv[i], "rb");
+  for (const char* path : paths) {
+    std::FILE* f = std::fopen(path, "rb");
     if (f == nullptr) {
-      std::fprintf(stderr, "%s: MISSING (bench did not emit its artifact)\n", argv[i]);
+      std::fprintf(stderr, "%s: MISSING (bench did not emit its artifact)\n", path);
       ++bad;
       continue;
     }
@@ -367,12 +440,35 @@ int main(int argc, char** argv) {
     }
     std::fclose(f);
     std::string error;
-    if (!ValidateArtifact(text, &error)) {
-      std::fprintf(stderr, "%s: INVALID: %s\n", argv[i], error.c_str());
+    ProfileFacts profile;
+    if (!ValidateArtifact(text, &error, &profile)) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", path, error.c_str());
       ++bad;
       continue;
     }
-    std::printf("%s: ok (%zu bytes)\n", argv[i], text.size());
+    if (min_coverage >= 0 || max_overhead >= 0) {
+      if (!profile.enabled) {
+        std::fprintf(stderr, "%s: PROFILE GATE: profiler was not enabled for this run\n",
+                     path);
+        ++bad;
+        continue;
+      }
+      if (min_coverage >= 0 && profile.coverage < min_coverage) {
+        std::fprintf(stderr, "%s: PROFILE GATE: coverage %.4f < required %.4f\n", path,
+                     profile.coverage, min_coverage);
+        ++bad;
+        continue;
+      }
+      if (max_overhead >= 0 && profile.self_overhead > max_overhead) {
+        std::fprintf(stderr, "%s: PROFILE GATE: self-overhead %.4f > allowed %.4f\n",
+                     path, profile.self_overhead, max_overhead);
+        ++bad;
+        continue;
+      }
+      std::printf("%s: profile ok (coverage %.3f, self-overhead %.4f)\n", path,
+                  profile.coverage, profile.self_overhead);
+    }
+    std::printf("%s: ok (%zu bytes)\n", path, text.size());
   }
   return bad == 0 ? 0 : 1;
 }
